@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: annotation-pinned placement combined with a
+ * reliability-aware migration engine.
+ *
+ * Section 7 closes with: "Supplementing such an annotation-driven
+ * static data placement scheme with a reliability-aware migration
+ * mechanism could potentially further improve the overall
+ * reliability of the system." This bench quantifies that suggestion:
+ * annotations pin half the HBM (pinning everything would leave the
+ * engine nothing to manage), and the FC engine manages the remaining
+ * capacity; evictions never touch pins.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+int
+main()
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+
+    TextTable table({"workload", "annot IPC", "hybrid IPC",
+                     "annot SER", "hybrid SER", "hybrid moved"});
+    std::vector<double> ipc_gain, ser_gain;
+
+    for (const auto &spec : standardWorkloads()) {
+        const auto wl = profileWorkload(config, spec);
+        const auto annotated =
+            runAnnotated(config, wl.data, wl.profile());
+
+        const auto selection = annotationsFor(
+            wl.data, wl.profile(), config.hbmPages() / 2);
+        auto pinned_half = buildAnnotatedPlacement(
+            wl.data.layout, selection, config.hbmPages() / 2);
+        // Give the full HBM to the run: the other half is the
+        // engine's to manage.
+        PlacementMap placement(config.hbmPages());
+        for (const PageId page : pinned_half.hbmPages())
+            placement.placePinned(page, MemoryId::HBM);
+        const auto engine =
+            makeEngine(DynamicScheme::FcReliability, config);
+        HmaSystem system(config);
+        auto hybrid = system.run(wl.data.traces,
+                                 std::move(placement), engine.get());
+
+        ipc_gain.push_back(hybrid.ipc / annotated.ipc);
+        ser_gain.push_back(annotated.ser / hybrid.ser);
+        table.addRow({
+            wl.name(),
+            TextTable::ratio(annotated.ipc / wl.base.ipc),
+            TextTable::ratio(hybrid.ipc / wl.base.ipc),
+            TextTable::ratio(annotated.ser / wl.base.ser, 1),
+            TextTable::ratio(hybrid.ser / wl.base.ser, 1),
+            TextTable::num(hybrid.migratedPages),
+        });
+    }
+    table.print(std::cout,
+                "Ablation: annotations + FC migration "
+                "(Section 7 future-work suggestion)");
+    std::cout << "\nhybrid vs annotation-only: IPC "
+              << TextTable::ratio(meanRatio(ipc_gain))
+              << ", SER reduction "
+              << TextTable::ratio(meanRatio(ser_gain), 2) << "\n";
+    return 0;
+}

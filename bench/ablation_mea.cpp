@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: cross-counter performance-unit sizing (Section 6.4).
+ *
+ * Sweeps the MEA map size (MemPod uses 32 entries) and the
+ * per-MEA-interval promotion budget, on the striding workload the
+ * paper calls out (cactusADM) and on mix1.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+int
+main()
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+    const std::vector<WorkloadSpec> specs = {
+        homogeneousWorkload("cactusADM"), mixWorkload("mix1")};
+    const auto profiled = profileAll(config, specs);
+
+    TextTable table({"MEA entries", "promo cap", "workload",
+                     "IPC vs perf-mig", "SER reduction",
+                     "remap hit ratio"});
+
+    for (const std::size_t entries : {8UL, 16UL, 32UL, 64UL}) {
+        for (const std::uint32_t cap : {4U, 8U, 16U}) {
+            for (const auto &wl : profiled) {
+                const auto perf = runDynamic(
+                    config, wl.data, DynamicScheme::PerfFocused,
+                    wl.profile());
+                CrossCounterMigration engine(
+                    config.meaIntervalCycles, config.fcPerMea(),
+                    entries, cap, config.fcMigrationCapPages);
+                const auto result = runWithEngine(
+                    config, wl.data, engine, wl.profile());
+                table.addRow({
+                    TextTable::num(
+                        static_cast<std::uint64_t>(entries)),
+                    TextTable::num(static_cast<std::uint64_t>(cap)),
+                    wl.name(),
+                    TextTable::ratio(result.ipc / perf.ipc),
+                    TextTable::ratio(perf.ser / result.ser, 1),
+                    TextTable::percent(
+                        engine.remapCache().hitRatio()),
+                });
+            }
+        }
+    }
+    table.print(std::cout,
+                "Ablation: MEA entries x promotion budget");
+    return 0;
+}

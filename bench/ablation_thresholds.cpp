@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: FC reliability-aware migration design points.
+ *
+ * Two of the design choices behind Section 6.1/6.2 that the paper
+ * fixes by construction: the interval length (interacting with risk
+ * estimation accuracy — the Wr ratio needs enough samples) and the
+ * per-interval migration budget (the scaled stand-in for the
+ * paper's unbounded-but-bandwidth-limited migration volume).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+int
+main()
+{
+    const SystemConfig base = SystemConfig::scaledDefault();
+    const std::vector<WorkloadSpec> specs = {
+        homogeneousWorkload("mcf"), homogeneousWorkload("lulesh"),
+        mixWorkload("mix1")};
+    const auto profiled = profileAll(base, specs);
+
+    TextTable table({"interval", "cap", "workload",
+                     "IPC vs perf-mig", "SER reduction"});
+
+    for (const Cycle interval : {1'600'000ULL, 3'200'000ULL,
+                                 6'400'000ULL}) {
+        for (const std::uint32_t cap : {64U, 256U, 1024U}) {
+            for (const auto &wl : profiled) {
+                SystemConfig config = base;
+                config.fcIntervalCycles = interval;
+                config.fcMigrationCapPages = cap;
+
+                const auto perf = runDynamic(
+                    config, wl.data, DynamicScheme::PerfFocused,
+                    wl.profile());
+                FcReliabilityMigration engine(interval, cap);
+                const auto result = runWithEngine(
+                    config, wl.data, engine, wl.profile());
+                table.addRow({
+                    TextTable::num(
+                        static_cast<std::uint64_t>(interval)),
+                    TextTable::num(static_cast<std::uint64_t>(cap)),
+                    wl.name(),
+                    TextTable::ratio(result.ipc / perf.ipc),
+                    TextTable::ratio(perf.ser / result.ser, 1),
+                });
+            }
+        }
+    }
+    table.print(std::cout,
+                "Ablation: FC migration interval x budget");
+    return 0;
+}

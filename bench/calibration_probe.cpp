@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Calibration probe: verifies the DESIGN.md Section 5 population
+ * targets for every workload (AVF span, correlations, quadrant
+ * fractions, IPC/SER ratios, migration volumes).
+ *
+ * Not a paper figure; this is the development/ablation aid used to
+ * calibrate the synthetic workload profiles, and it documents how
+ * the calibration targets are measured.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "hma/experiment.hh"
+#include "placement/quadrant.hh"
+
+using namespace ramp;
+
+int
+main()
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+
+    TextTable table({"workload", "pages", "AVF", "MPKI", "IPCddr",
+                     "IPCperf", "SERperf", "hot&low", "r(h,a)",
+                     "r(wr,a)", "mig/int", "ints"});
+
+    for (const auto &spec : standardWorkloads()) {
+        const WorkloadData data = prepareWorkload(spec);
+        const SimResult base = runDdrOnly(config, data);
+        const PageProfile &profile = base.profile;
+
+        const SimResult perf = runStaticPolicy(
+            config, data, StaticPolicy::PerfFocused, profile);
+        const SimResult mig = runDynamic(
+            config, data, DynamicScheme::PerfFocused, profile);
+
+        const auto quadrants = analyzeQuadrants(profile);
+
+        std::vector<double> hot, avf, wr;
+        for (const auto &[page, stats] : profile.pages()) {
+            hot.push_back(static_cast<double>(stats.hotness()));
+            avf.push_back(stats.avf);
+            wr.push_back(stats.wrRatio());
+        }
+
+        const double intervals =
+            static_cast<double>(mig.makespan) /
+            static_cast<double>(config.fcIntervalCycles);
+        table.addRow({
+            spec.name,
+            TextTable::num(
+                static_cast<std::uint64_t>(profile.footprintPages())),
+            TextTable::percent(base.memoryAvf),
+            TextTable::num(base.mpki, 1),
+            TextTable::num(base.ipc, 2),
+            TextTable::ratio(perf.ipc / base.ipc),
+            TextTable::ratio(perf.ser / base.ser, 1),
+            TextTable::percent(quadrants.hotLowRiskFraction()),
+            TextTable::num(pearsonCorrelation(hot, avf), 2),
+            TextTable::num(pearsonCorrelation(wr, avf), 2),
+            TextTable::num(static_cast<std::uint64_t>(
+                static_cast<double>(mig.migratedPages) /
+                std::max(1.0, intervals))),
+            TextTable::num(intervals, 1),
+        });
+    }
+    table.print(std::cout, "calibration probe (DESIGN.md Section 5)");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared report generator for Figures 14 and 15.
+ *
+ * Both figures evaluate a reliability-aware migration scheme over
+ * every workload and report IPC and SER relative to the
+ * performance-focused migration baseline (the dynamic state of the
+ * art, Section 6.1).
+ */
+
+#ifndef RAMP_BENCH_DYNAMIC_REPORT_HH
+#define RAMP_BENCH_DYNAMIC_REPORT_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace ramp::bench
+{
+
+/** Run one dynamic scheme over all workloads, print figure rows. */
+inline int
+reportDynamicScheme(DynamicScheme scheme, const std::string &title)
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+
+    TextTable table({"workload", "IPC vs perf-migration",
+                     "SER reduction vs perf-migration",
+                     "SER vs DDR-only", "pages moved"});
+    std::vector<double> ipc_ratios, ser_reductions;
+
+    for (const auto &spec : standardWorkloads()) {
+        const auto wl = profileWorkload(config, spec);
+        const auto perf_mig = runDynamic(
+            config, wl.data, DynamicScheme::PerfFocused, wl.profile());
+        const auto result =
+            runDynamic(config, wl.data, scheme, wl.profile());
+        const double ipc_ratio = result.ipc / perf_mig.ipc;
+        const double ser_reduction = perf_mig.ser / result.ser;
+        ipc_ratios.push_back(ipc_ratio);
+        ser_reductions.push_back(ser_reduction);
+        table.addRow({wl.name(), TextTable::ratio(ipc_ratio),
+                      TextTable::ratio(ser_reduction, 1),
+                      TextTable::ratio(result.ser / wl.base.ser, 1),
+                      TextTable::num(result.migratedPages)});
+    }
+    table.addRow({"average", TextTable::ratio(meanRatio(ipc_ratios)),
+                  TextTable::ratio(meanRatio(ser_reductions), 1), "-",
+                  "-"});
+    table.print(std::cout, title);
+
+    std::cout << "\naverage IPC loss vs perf-migration: "
+              << TextTable::percent(1.0 - meanRatio(ipc_ratios))
+              << ", average SER reduction: "
+              << TextTable::ratio(meanRatio(ser_reductions), 1)
+              << "\n";
+    return 0;
+}
+
+} // namespace ramp::bench
+
+#endif // RAMP_BENCH_DYNAMIC_REPORT_HH

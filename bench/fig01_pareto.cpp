@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 1: reliability vs performance frontier of hot-page
+ * placements.
+ *
+ * Sweeps the fraction of the HBM filled with the hottest pages (each
+ * point is one static placement) over the paper's motivation
+ * workloads (astar, cactusADM, mix1) and reports the averaged
+ * normalised IPC and reliability. Reliability is plotted as the
+ * paper does: relative to the DDR-only SER (1.0 = most reliable).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+int
+main()
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+    const auto profiled = profileAll(config, motivationWorkloads());
+
+    TextTable table({"hot fraction", "IPC vs DDR-only",
+                     "SER vs DDR-only", "reliability (1/SER)"});
+
+    for (const double fraction :
+         {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+        std::vector<double> ipc_ratios;
+        std::vector<double> ser_ratios;
+        for (const auto &wl : profiled) {
+            const auto result = runHotFraction(config, wl.data,
+                                               wl.profile(), fraction);
+            ipc_ratios.push_back(result.ipc / wl.base.ipc);
+            ser_ratios.push_back(result.ser / wl.base.ser);
+        }
+        const double ipc = meanRatio(ipc_ratios);
+        const double ser = meanRatio(ser_ratios);
+        table.addRow({TextTable::num(fraction, 1),
+                      TextTable::ratio(ipc),
+                      TextTable::ratio(ser, 1),
+                      TextTable::num(1.0 / ser, 4)});
+    }
+
+    // The balanced placement reaches the upper-right region that the
+    // pure hot-fraction frontier cannot (the paper's key point).
+    std::vector<double> ipc_ratios, ser_ratios;
+    for (const auto &wl : profiled) {
+        const auto result = runStaticPolicy(
+            config, wl.data, StaticPolicy::Balanced, wl.profile());
+        ipc_ratios.push_back(result.ipc / wl.base.ipc);
+        ser_ratios.push_back(result.ser / wl.base.ser);
+    }
+    table.addRow({"balanced", TextTable::ratio(meanRatio(ipc_ratios)),
+                  TextTable::ratio(meanRatio(ser_ratios), 1),
+                  TextTable::num(1.0 / meanRatio(ser_ratios), 4)});
+
+    table.print(std::cout,
+                "Figure 1: performance vs reliability "
+                "(astar, cactusADM, mix1 average)");
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 7: naive reliability-focused static placement (lowest-AVF
+ * pages in HBM). Paper: SER / 5, IPC -17% vs performance-focused;
+ * lbm and milc are outliers (uniform hotness, only 6% / 1% loss).
+ */
+
+#include "static_policy_report.hh"
+
+int
+main()
+{
+    return ramp::bench::reportStaticPolicy(
+        ramp::StaticPolicy::ReliabilityFocused,
+        "Figure 7: reliability-focused placement "
+        "(paper: SER/5, IPC -17%)");
+}

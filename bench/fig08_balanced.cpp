@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Figure 8: balanced static placement (hot & low-risk quadrant pages
+ * in HBM). Paper: SER / 3, IPC -14% vs performance-focused.
+ */
+
+#include "static_policy_report.hh"
+
+int
+main()
+{
+    return ramp::bench::reportStaticPolicy(
+        ramp::StaticPolicy::Balanced,
+        "Figure 8: balanced placement (paper: SER/3, IPC -14%)");
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Figure 10: Wr-ratio heuristic placement (top writes/reads pages in
+ * HBM). Paper: SER / 1.8, IPC -8.1% vs performance-focused.
+ */
+
+#include "static_policy_report.hh"
+
+int
+main()
+{
+    return ramp::bench::reportStaticPolicy(
+        ramp::StaticPolicy::WrRatio,
+        "Figure 10: Wr-ratio placement (paper: SER/1.8, IPC -8.1%)");
+}

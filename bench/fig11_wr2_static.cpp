@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 11: Wr^2-ratio heuristic placement (biases towards pages
+ * with high absolute write counts, avoiding cold pages). Paper:
+ * SER / 1.6 at only -1% IPC vs performance-focused.
+ */
+
+#include "static_policy_report.hh"
+
+int
+main()
+{
+    return ramp::bench::reportStaticPolicy(
+        ramp::StaticPolicy::Wr2Ratio,
+        "Figure 11: Wr^2-ratio placement (paper: SER/1.6, IPC -1%)");
+}

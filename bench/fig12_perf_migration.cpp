@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 12: performance-focused dynamic migration (Meswani-style
+ * Full Counters, dynamic mean-hotness threshold).
+ *
+ * Paper: IPC 1.52x and SER 268x relative to DDR-only — i.e. the
+ * dynamic scheme recovers most of the static oracle's performance
+ * (1.6x) without prior profiling, and inherits almost all of its
+ * reliability exposure. Also reports migrations per interval
+ * (paper: ~47K at unscaled capacity).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+int
+main()
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+
+    TextTable table({"workload", "IPC vs DDR-only", "SER vs DDR-only",
+                     "IPC vs perf-static", "pages moved/interval"});
+    std::vector<double> ipc_ratios, ser_ratios, vs_static;
+
+    for (const auto &spec : standardWorkloads()) {
+        const auto wl = profileWorkload(config, spec);
+        const auto perf_static = runStaticPolicy(
+            config, wl.data, StaticPolicy::PerfFocused, wl.profile());
+        const auto result = runDynamic(
+            config, wl.data, DynamicScheme::PerfFocused, wl.profile());
+
+        const double intervals =
+            static_cast<double>(result.makespan) /
+            static_cast<double>(config.fcIntervalCycles);
+        ipc_ratios.push_back(result.ipc / wl.base.ipc);
+        ser_ratios.push_back(result.ser / wl.base.ser);
+        vs_static.push_back(result.ipc / perf_static.ipc);
+        table.addRow({wl.name(),
+                      TextTable::ratio(ipc_ratios.back()),
+                      TextTable::ratio(ser_ratios.back(), 1),
+                      TextTable::ratio(vs_static.back()),
+                      TextTable::num(static_cast<std::uint64_t>(
+                          static_cast<double>(result.migratedPages) /
+                          std::max(1.0, intervals)))});
+    }
+    table.addRow({"average", TextTable::ratio(meanRatio(ipc_ratios)),
+                  TextTable::ratio(meanRatio(ser_ratios), 1),
+                  TextTable::ratio(meanRatio(vs_static)), "-"});
+    table.print(std::cout,
+                "Figure 12: performance-focused migration "
+                "(paper: 1.52x IPC, 268x SER vs DDR-only)");
+    return 0;
+}

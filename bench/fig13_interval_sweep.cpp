@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 13: migration-interval sweep.
+ *
+ * The paper sweeps the Full-Counter migration interval over three
+ * workloads of low/medium/high memory intensity and finds 100 ms
+ * best; MemPod-style MEA mechanisms prefer much smaller intervals
+ * (Section 6.4.3). Here both sweeps run at the scaled time axis
+ * (SystemConfig defaults correspond to the paper's 100 ms / 50 us).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+int
+main()
+{
+    SystemConfig config = SystemConfig::scaledDefault();
+
+    // Low / medium / high memory intensity.
+    const std::vector<WorkloadSpec> specs = {
+        homogeneousWorkload("astar"), homogeneousWorkload("lulesh"),
+        homogeneousWorkload("mcf")};
+    const auto profiled = profileAll(config, specs);
+
+    TextTable fc_table({"FC interval (cycles)", "astar IPC",
+                        "lulesh IPC", "mcf IPC", "mean vs default"});
+    std::vector<double> defaults;
+    for (const Cycle interval :
+         {800'000ULL, 1'600'000ULL, 3'200'000ULL, 6'400'000ULL,
+          12'800'000ULL}) {
+        SystemConfig swept = config;
+        swept.fcIntervalCycles = interval;
+        std::vector<std::string> row = {TextTable::num(
+            static_cast<std::uint64_t>(interval))};
+        std::vector<double> ipcs;
+        for (const auto &wl : profiled) {
+            const auto result =
+                runDynamic(swept, wl.data, DynamicScheme::PerfFocused,
+                           wl.profile());
+            ipcs.push_back(result.ipc);
+            row.push_back(TextTable::num(result.ipc, 2));
+        }
+        if (interval == config.fcIntervalCycles)
+            defaults = ipcs;
+        double rel = 0;
+        if (!defaults.empty()) {
+            for (std::size_t i = 0; i < ipcs.size(); ++i)
+                rel += ipcs[i] / defaults[i];
+            rel /= static_cast<double>(ipcs.size());
+        }
+        row.push_back(defaults.empty() ? "-"
+                                       : TextTable::ratio(rel));
+        fc_table.addRow(row);
+    }
+    fc_table.print(std::cout,
+                   "Figure 13: FC migration interval sweep "
+                   "(default = scaled 100 ms)");
+
+    TextTable mea_table({"MEA interval (cycles)", "astar IPC",
+                         "lulesh IPC", "mcf IPC"});
+    for (const Cycle interval :
+         {25'000ULL, 50'000ULL, 100'000ULL, 200'000ULL}) {
+        SystemConfig swept = config;
+        swept.meaIntervalCycles = interval;
+        std::vector<std::string> row = {TextTable::num(
+            static_cast<std::uint64_t>(interval))};
+        for (const auto &wl : profiled) {
+            const auto result =
+                runDynamic(swept, wl.data, DynamicScheme::CrossCounter,
+                           wl.profile());
+            row.push_back(TextTable::num(result.ipc, 2));
+        }
+        mea_table.addRow(row);
+    }
+    std::cout << "\n";
+    mea_table.print(std::cout,
+                    "Figure 13 (cont.): MEA interval sweep for the "
+                    "cross-counter scheme (default = scaled 50 us)");
+    return 0;
+}

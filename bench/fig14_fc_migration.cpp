@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 14: reliability-aware migration with Full Counters.
+ * Paper: SER / 1.8 at -6% IPC vs performance-focused migration;
+ * milc shows a slight speedup (fewer migrations).
+ */
+
+#include "dynamic_report.hh"
+
+int
+main()
+{
+    return ramp::bench::reportDynamicScheme(
+        ramp::DynamicScheme::FcReliability,
+        "Figure 14: FC reliability-aware migration "
+        "(paper: SER/1.8, IPC -6%)");
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 15: cross-counter reliability-aware migration (MEA
+ * performance unit + Full-Counter risk unit).
+ * Paper: SER / 1.5 at -4.9% IPC vs performance-focused migration;
+ * cactusADM (striding) gains 11% IPC over FC at +20% SER.
+ */
+
+#include "dynamic_report.hh"
+
+int
+main()
+{
+    return ramp::bench::reportDynamicScheme(
+        ramp::DynamicScheme::CrossCounter,
+        "Figure 15: cross-counter reliability-aware migration "
+        "(paper: SER/1.5, IPC -4.9%)");
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 17: number of annotated program structures per workload.
+ *
+ * Paper: one annotation suffices for most workloads (average ~8);
+ * cactusADM and mix1 are outliers needing 39 and 45 because their
+ * hot & low-risk footprint is spread over many small structures.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+int
+main()
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+
+    TextTable table({"workload", "annotations", "pinned pages",
+                     "pinned MB", "HBM fill"});
+    double total = 0;
+    std::size_t count = 0;
+
+    for (const auto &spec : standardWorkloads()) {
+        const auto wl = profileWorkload(config, spec);
+        const auto selection = annotationsFor(
+            wl.data, wl.profile(), config.hbmPages());
+        total += static_cast<double>(selection.count());
+        ++count;
+        table.addRow({
+            wl.name(),
+            TextTable::num(
+                static_cast<std::uint64_t>(selection.count())),
+            TextTable::num(selection.pinnedPages),
+            TextTable::num(static_cast<double>(
+                               selection.pinnedPages * pageSize) /
+                               (1 << 20),
+                           1),
+            TextTable::percent(
+                static_cast<double>(selection.pinnedPages) /
+                static_cast<double>(config.hbmPages())),
+        });
+    }
+    table.print(std::cout,
+                "Figure 17: annotated structures per workload "
+                "(paper: avg ~8; outliers cactusADM 39, mix1 45)");
+    std::cout << "\naverage annotations: "
+              << TextTable::num(total / static_cast<double>(count), 1)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of RAMP's hot components.
+ *
+ * These are throughput benchmarks of the simulator's inner loops
+ * (not paper figures): the AVF tracker, the DRAM reservation model,
+ * the activity counters, the cache model, and trace generation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "dram/memory.hh"
+#include "migration/counters.hh"
+#include "reliability/avf.hh"
+#include "trace/generator.hh"
+
+using namespace ramp;
+
+namespace
+{
+
+void
+bmZipfSample(benchmark::State &state)
+{
+    const ZipfSampler zipf(static_cast<std::uint64_t>(state.range(0)),
+                           0.8);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(bmZipfSample)->Arg(1024)->Arg(65536);
+
+void
+bmAvfTracker(benchmark::State &state)
+{
+    AvfTracker tracker;
+    Rng rng(2);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.nextRange(1 << 26);
+        tracker.onAccess(addr, rng.nextBool(0.3), now += 10);
+    }
+}
+BENCHMARK(bmAvfTracker);
+
+void
+bmDramAccess(benchmark::State &state)
+{
+    DramMemory dram(state.range(0) == 0 ? ddr3Config() : hbmConfig());
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.nextRange(16 << 20);
+        benchmark::DoNotOptimize(
+            dram.access(now += 4, addr, rng.nextBool(0.3)));
+    }
+}
+BENCHMARK(bmDramAccess)->Arg(0)->Arg(1);
+
+void
+bmFullCounters(benchmark::State &state)
+{
+    FullCounterTable counters;
+    Rng rng(4);
+    for (auto _ : state)
+        counters.onAccess(rng.nextRange(10000), rng.nextBool(0.3));
+}
+BENCHMARK(bmFullCounters);
+
+void
+bmMeaTracker(benchmark::State &state)
+{
+    MeaTracker mea(32);
+    Rng rng(5);
+    for (auto _ : state)
+        mea.onAccess(rng.nextRange(10000));
+}
+BENCHMARK(bmMeaTracker);
+
+void
+bmCacheAccess(benchmark::State &state)
+{
+    SetAssocCache cache({512 * 1024, 16, lineSize});
+    Rng rng(6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextRange(8 << 20), rng.nextBool(0.3)));
+    }
+}
+BENCHMARK(bmCacheAccess);
+
+void
+bmTraceGeneration(benchmark::State &state)
+{
+    const auto spec = homogeneousWorkload("mcf");
+    GeneratorOptions options;
+    options.traceScale = 0.05;
+    for (auto _ : state) {
+        auto traces = generateTraces(spec, options);
+        benchmark::DoNotOptimize(traces.data());
+    }
+}
+BENCHMARK(bmTraceGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared report generator for Figures 7, 8, 10, and 11.
+ *
+ * Each of those figures evaluates one static placement policy over
+ * every workload, ordered by decreasing MPKI (bandwidth-intensive on
+ * the left), and reports IPC and SER relative to the
+ * performance-focused static placement.
+ */
+
+#ifndef RAMP_BENCH_STATIC_POLICY_REPORT_HH
+#define RAMP_BENCH_STATIC_POLICY_REPORT_HH
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace ramp::bench
+{
+
+/** Run one policy over all workloads and print the figure rows. */
+inline int
+reportStaticPolicy(StaticPolicy policy, const std::string &title)
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+    auto profiled = profileAll(config, standardWorkloads());
+
+    // The paper orders these figures by decreasing MPKI.
+    std::sort(profiled.begin(), profiled.end(),
+              [](const ProfiledWorkload &a, const ProfiledWorkload &b) {
+                  return a.base.mpki > b.base.mpki;
+              });
+
+    TextTable table({"workload", "MPKI", "IPC vs perf-focused",
+                     "SER reduction vs perf-focused",
+                     "SER vs DDR-only"});
+    std::vector<double> ipc_ratios, ser_reductions;
+
+    for (const auto &wl : profiled) {
+        const auto perf = runStaticPolicy(config, wl.data,
+                                          StaticPolicy::PerfFocused,
+                                          wl.profile());
+        const auto result =
+            runStaticPolicy(config, wl.data, policy, wl.profile());
+        const double ipc_ratio = result.ipc / perf.ipc;
+        const double ser_reduction = perf.ser / result.ser;
+        ipc_ratios.push_back(ipc_ratio);
+        ser_reductions.push_back(ser_reduction);
+        table.addRow({wl.name(), TextTable::num(wl.base.mpki, 1),
+                      TextTable::ratio(ipc_ratio),
+                      TextTable::ratio(ser_reduction, 1),
+                      TextTable::ratio(result.ser / wl.base.ser, 1)});
+    }
+    table.addRow({"average", "-",
+                  TextTable::ratio(meanRatio(ipc_ratios)),
+                  TextTable::ratio(meanRatio(ser_reductions), 1),
+                  "-"});
+    table.print(std::cout, title);
+
+    std::cout << "\naverage IPC loss vs perf-focused: "
+              << TextTable::percent(1.0 - meanRatio(ipc_ratios))
+              << ", average SER reduction: "
+              << TextTable::ratio(meanRatio(ser_reductions), 1)
+              << "\n";
+    return 0;
+}
+
+} // namespace ramp::bench
+
+#endif // RAMP_BENCH_STATIC_POLICY_REPORT_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Table 3: summary of every placement/migration scheme.
+ *
+ * For each scheme, average IPC degradation and SER improvement
+ * relative to its performance-focused counterpart (static schemes vs
+ * perf-static, dynamic schemes vs perf-migration), plus the
+ * hardware-cost analysis of Sections 6.3 / 6.4.2 at the paper's
+ * unscaled capacities (17 GB HMA: 4.25M pages, 262K in HBM).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+namespace
+{
+
+struct SchemeSummary
+{
+    std::string name;
+    std::string paper; ///< the paper's (IPC loss, SER gain) cell
+    std::vector<double> ipcRatios;
+    std::vector<double> serReductions;
+};
+
+} // namespace
+
+int
+main()
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+
+    std::vector<SchemeSummary> summaries = {
+        {"rel-focused [5.1]", "17% / 5.0x", {}, {}},
+        {"balanced [5.2]", "14% / 3.0x", {}, {}},
+        {"wr-ratio [5.4.1]", "8.1% / 1.8x", {}, {}},
+        {"wr2-ratio [5.4.2]", "1% / 1.6x", {}, {}},
+        {"fc-migration [6.2]", "6% / 1.8x", {}, {}},
+        {"cc-migration [6.4]", "4.9% / 1.5x", {}, {}},
+        {"annotations [7]", "1.1% / 1.3x", {}, {}},
+    };
+
+    for (const auto &spec : standardWorkloads()) {
+        const auto wl = profileWorkload(config, spec);
+        const auto perf_static = runStaticPolicy(
+            config, wl.data, StaticPolicy::PerfFocused, wl.profile());
+        const auto perf_mig = runDynamic(
+            config, wl.data, DynamicScheme::PerfFocused, wl.profile());
+
+        auto add = [&](std::size_t i, const SimResult &result,
+                       const SimResult &baseline) {
+            summaries[i].ipcRatios.push_back(result.ipc /
+                                             baseline.ipc);
+            summaries[i].serReductions.push_back(baseline.ser /
+                                                 result.ser);
+        };
+
+        add(0,
+            runStaticPolicy(config, wl.data,
+                            StaticPolicy::ReliabilityFocused,
+                            wl.profile()),
+            perf_static);
+        add(1,
+            runStaticPolicy(config, wl.data, StaticPolicy::Balanced,
+                            wl.profile()),
+            perf_static);
+        add(2,
+            runStaticPolicy(config, wl.data, StaticPolicy::WrRatio,
+                            wl.profile()),
+            perf_static);
+        add(3,
+            runStaticPolicy(config, wl.data, StaticPolicy::Wr2Ratio,
+                            wl.profile()),
+            perf_static);
+        add(4,
+            runDynamic(config, wl.data, DynamicScheme::FcReliability,
+                       wl.profile()),
+            perf_mig);
+        add(5,
+            runDynamic(config, wl.data, DynamicScheme::CrossCounter,
+                       wl.profile()),
+            perf_mig);
+        add(6, runAnnotated(config, wl.data, wl.profile()),
+            perf_static);
+    }
+
+    TextTable table({"scheme", "IPC loss", "SER gain",
+                     "paper (IPC loss / SER gain)"});
+    for (const auto &summary : summaries) {
+        table.addRow({
+            summary.name,
+            TextTable::percent(1.0 - meanRatio(summary.ipcRatios)),
+            TextTable::ratio(meanRatio(summary.serReductions), 1),
+            summary.paper,
+        });
+    }
+    table.print(std::cout,
+                "Table 3: scheme summary (static vs perf-static, "
+                "dynamic vs perf-migration)");
+
+    // Hardware cost at the paper's unscaled capacities.
+    const std::uint64_t paper_total_pages =
+        (17ULL << 30) / pageSize; // 1 GB HBM + 16 GB DDR
+    const std::uint64_t paper_hbm_pages = (1ULL << 30) / pageSize;
+    const PerfFocusedMigration perf(config.fcIntervalCycles);
+    const FcReliabilityMigration fc(config.fcIntervalCycles);
+    const CrossCounterMigration cc(config.meaIntervalCycles,
+                                   config.fcPerMea());
+
+    TextTable cost({"mechanism", "tracking storage", "paper"});
+    auto kb = [](std::uint64_t bytes) {
+        return TextTable::num(static_cast<double>(bytes) / 1024.0,
+                              1) +
+               " KB";
+    };
+    const auto perf_cost =
+        perf.hardwareCostBytes(paper_total_pages, paper_hbm_pages);
+    const auto fc_cost =
+        fc.hardwareCostBytes(paper_total_pages, paper_hbm_pages);
+    cost.addRow({"perf-migration (combined counters)", kb(perf_cost),
+                 "4.25 MB"});
+    cost.addRow({"fc-migration (split counters)", kb(fc_cost),
+                 "8.5 MB"});
+    cost.addRow({"fc additional vs perf", kb(fc_cost - perf_cost),
+                 "4.25 MB"});
+    cost.addRow({"cc-migration (risk FC + MEA + remap)",
+                 kb(cc.hardwareCostBytes(paper_total_pages,
+                                         paper_hbm_pages)),
+                 "676 KB"});
+    std::cout << "\n";
+    cost.print(std::cout,
+               "Hardware cost analysis (Sections 6.3, 6.4.2; "
+               "unscaled 17 GB HMA)");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Datacenter-mix scenario: build a custom 16-core workload mix,
+ * study its hotness-risk structure, and pick a placement.
+ *
+ * Models the paper's Section 4 workflow for an operator consolidating
+ * heterogeneous tenants onto one HMA node:
+ *   1. compose a custom mix (any registry programs, 16 cores),
+ *   2. profile it on DDR only and inspect the Figure 4 quadrants,
+ *   3. compare the placement options the paper offers,
+ *   4. report the per-mix recommendation.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "hma/experiment.hh"
+#include "placement/quadrant.hh"
+
+using namespace ramp;
+
+int
+main()
+{
+    // 1. A custom consolidation mix: latency-sensitive services
+    //    (gcc, omnetpp) sharing the node with HPC batch jobs.
+    WorkloadSpec spec;
+    spec.name = "custom-consolidation";
+    spec.coreBenchmarks = {"gcc",     "gcc",      "omnetpp",
+                           "omnetpp", "sphinx",   "bzip",
+                           "bzip",    "dealII",   "milc",
+                           "milc",    "GemsFDTD", "GemsFDTD",
+                           "lulesh",  "lulesh",   "xsbench",
+                           "xsbench"};
+
+    const WorkloadData data = prepareWorkload(spec);
+    const SystemConfig config = SystemConfig::scaledDefault();
+
+    // 2. Profile pass and quadrant analysis.
+    const SimResult base = runDdrOnly(config, data);
+    const auto quadrants = analyzeQuadrants(base.profile);
+    std::cout << "mix '" << spec.name << "': "
+              << base.profile.footprintPages() << " pages, AVF "
+              << TextTable::percent(base.memoryAvf) << ", MPKI "
+              << TextTable::num(base.mpki, 1) << "\n"
+              << "hot & low-risk pages: "
+              << TextTable::percent(quadrants.hotLowRiskFraction())
+              << " of footprint (the placement opportunity)\n\n";
+
+    // 3. Candidate placements.
+    TextTable table({"placement", "IPC vs DDR-only",
+                     "SER vs DDR-only", "HBM traffic share"});
+    SimResult best_balanced{};
+    for (const StaticPolicy policy :
+         {StaticPolicy::PerfFocused, StaticPolicy::Balanced,
+          StaticPolicy::WrRatio, StaticPolicy::Wr2Ratio}) {
+        const auto result =
+            runStaticPolicy(config, data, policy, base.profile);
+        if (policy == StaticPolicy::Wr2Ratio)
+            best_balanced = result;
+        table.addRow({result.label,
+                      TextTable::ratio(result.ipc / base.ipc),
+                      TextTable::ratio(result.ser / base.ser, 1),
+                      TextTable::percent(result.hbmAccessFraction)});
+    }
+    // Dynamic option for tenants the operator cannot profile.
+    const auto fc = runDynamic(config, data,
+                               DynamicScheme::FcReliability,
+                               base.profile);
+    table.addRow({fc.label, TextTable::ratio(fc.ipc / base.ipc),
+                  TextTable::ratio(fc.ser / base.ser, 1),
+                  TextTable::percent(fc.hbmAccessFraction)});
+    table.print(std::cout, "placement options for " + spec.name);
+
+    // 4. Recommendation: the Wr^2 heuristic balances both axes
+    //    without needing AVF oracles (Section 5.4.2).
+    std::cout << "\nrecommended: wr2-ratio placement ("
+              << TextTable::ratio(best_balanced.ipc / base.ipc)
+              << " IPC at "
+              << TextTable::ratio(best_balanced.ser / base.ser, 1)
+              << " SER vs DDR-only)\n";
+    return 0;
+}

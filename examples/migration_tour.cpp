@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dynamic migration tour (paper Section 6).
+ *
+ * Runs a workload that needs no prior profiling through the three
+ * dynamic schemes — performance-focused, reliability-aware Full
+ * Counters, and Cross Counters — and reports performance,
+ * reliability, migration volume, and tracking-hardware cost side by
+ * side, including an interval sensitivity check (Figure 13).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "hma/experiment.hh"
+
+using namespace ramp;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "soplex";
+    const WorkloadSpec spec =
+        name.rfind("mix", 0) == 0 ? mixWorkload(name)
+                                  : homogeneousWorkload(name);
+    const WorkloadData data = prepareWorkload(spec);
+    const SystemConfig config = SystemConfig::scaledDefault();
+
+    // The profiling pass here is only used for the cold-start
+    // initial placement; the engines themselves are profile-free.
+    const SimResult base = runDdrOnly(config, data);
+
+    // Paper-scale page populations for the hardware cost column.
+    const std::uint64_t paper_total = (17ULL << 30) / pageSize;
+    const std::uint64_t paper_hbm = (1ULL << 30) / pageSize;
+
+    TextTable table({"scheme", "IPC vs DDR-only", "SER vs DDR-only",
+                     "pages moved", "tracking HW"});
+    for (const auto scheme :
+         {DynamicScheme::PerfFocused, DynamicScheme::FcReliability,
+          DynamicScheme::CrossCounter}) {
+        const auto result =
+            runDynamic(config, data, scheme, base.profile);
+        const auto engine = makeEngine(scheme, config);
+        table.addRow(
+            {result.label, TextTable::ratio(result.ipc / base.ipc),
+             TextTable::ratio(result.ser / base.ser, 1),
+             TextTable::num(result.migratedPages),
+             TextTable::num(
+                 static_cast<double>(engine->hardwareCostBytes(
+                     paper_total, paper_hbm)) /
+                     1024.0,
+                 0) +
+                 " KB"});
+    }
+    table.print(std::cout, "dynamic schemes on " + spec.name);
+
+    // Interval sensitivity (Figure 13 in miniature).
+    TextTable sweep({"FC interval (cycles)", "perf-mig IPC",
+                     "fc-mig IPC"});
+    for (const Cycle interval :
+         {1'600'000ULL, 3'200'000ULL, 6'400'000ULL}) {
+        SystemConfig swept = config;
+        swept.fcIntervalCycles = interval;
+        const auto perf = runDynamic(
+            swept, data, DynamicScheme::PerfFocused, base.profile);
+        const auto fc = runDynamic(
+            swept, data, DynamicScheme::FcReliability, base.profile);
+        sweep.addRow({TextTable::num(
+                          static_cast<std::uint64_t>(interval)),
+                      TextTable::num(perf.ipc, 2),
+                      TextTable::num(fc.ipc, 2)});
+    }
+    std::cout << "\n";
+    sweep.print(std::cout, "interval sensitivity");
+    return 0;
+}

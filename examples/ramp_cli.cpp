@@ -1,0 +1,234 @@
+/**
+ * @file
+ * ramp_cli — command-line explorer for the RAMP library.
+ *
+ * Subcommands:
+ *   workloads                      list the registered programs/mixes
+ *   profile   <workload>           DDR-only profile: AVF, MPKI,
+ *                                  quadrants, per-structure stats
+ *   run       <workload> <policy>  one placement/migration pass
+ *   sweep     <workload>           hot-fraction frontier (Fig 1 style)
+ *   faultsim  [stacked-factor]     FaultSim campaign for both memories
+ *   trace     <workload> <file>    generate + save traces, then verify
+ *
+ * Policies: ddr-only perf rel balanced wr wr2 annotated
+ *           perf-mig fc-mig cc-mig
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "hma/experiment.hh"
+#include "placement/quadrant.hh"
+#include "reliability/faultsim.hh"
+
+using namespace ramp;
+
+namespace
+{
+
+WorkloadSpec
+specFor(const std::string &name)
+{
+    return name.rfind("mix", 0) == 0 ? mixWorkload(name)
+                                     : homogeneousWorkload(name);
+}
+
+int
+cmdWorkloads()
+{
+    TextTable table({"workload", "kind", "MPKI", "footprint pages"});
+    for (const auto &spec : standardWorkloads()) {
+        const auto layout = buildLayout(spec);
+        const bool mix = spec.name.rfind("mix", 0) == 0;
+        double mpki = 0;
+        for (const auto &bench : spec.coreBenchmarks)
+            mpki += benchmarkProfile(bench).mpki;
+        table.addRow({spec.name, mix ? "mix" : "homogeneous",
+                      TextTable::num(mpki / workloadCores, 1),
+                      TextTable::num(layout.totalPages)});
+    }
+    table.print(std::cout, "registered workloads");
+    return 0;
+}
+
+int
+cmdProfile(const std::string &workload)
+{
+    const auto data = prepareWorkload(specFor(workload));
+    const SystemConfig config = SystemConfig::scaledDefault();
+    const auto base = runDdrOnly(config, data);
+    const auto quadrants = analyzeQuadrants(base.profile);
+
+    std::cout << workload << ": AVF "
+              << TextTable::percent(base.memoryAvf) << ", MPKI "
+              << TextTable::num(base.mpki, 1) << ", IPC "
+              << TextTable::num(base.ipc, 2) << ", footprint "
+              << base.profile.footprintPages() << " pages\n"
+              << "quadrants: hot&low "
+              << TextTable::percent(quadrants.hotLowRiskFraction())
+              << "\n\n";
+
+    TextTable table({"program", "structure", "pages", "acc/page",
+                     "avg AVF"});
+    const auto structures =
+        profileStructures(data.layout, base.profile);
+    for (const auto &entry : structures)
+        table.addRow({entry.benchmark, entry.structure,
+                      TextTable::num(entry.pages),
+                      TextTable::num(entry.hotnessPerPage(), 1),
+                      TextTable::percent(entry.avgAvf)});
+    table.print(std::cout, "structure profile");
+    return 0;
+}
+
+int
+cmdRun(const std::string &workload, const std::string &policy)
+{
+    const auto data = prepareWorkload(specFor(workload));
+    const SystemConfig config = SystemConfig::scaledDefault();
+    const auto base = runDdrOnly(config, data);
+
+    SimResult result;
+    if (policy == "ddr-only")
+        result = base;
+    else if (policy == "perf")
+        result = runStaticPolicy(config, data,
+                                 StaticPolicy::PerfFocused,
+                                 base.profile);
+    else if (policy == "rel")
+        result = runStaticPolicy(config, data,
+                                 StaticPolicy::ReliabilityFocused,
+                                 base.profile);
+    else if (policy == "balanced")
+        result = runStaticPolicy(config, data, StaticPolicy::Balanced,
+                                 base.profile);
+    else if (policy == "wr")
+        result = runStaticPolicy(config, data, StaticPolicy::WrRatio,
+                                 base.profile);
+    else if (policy == "wr2")
+        result = runStaticPolicy(config, data, StaticPolicy::Wr2Ratio,
+                                 base.profile);
+    else if (policy == "annotated")
+        result = runAnnotated(config, data, base.profile);
+    else if (policy == "perf-mig")
+        result = runDynamic(config, data, DynamicScheme::PerfFocused,
+                            base.profile);
+    else if (policy == "fc-mig")
+        result = runDynamic(config, data,
+                            DynamicScheme::FcReliability,
+                            base.profile);
+    else if (policy == "cc-mig")
+        result = runDynamic(config, data, DynamicScheme::CrossCounter,
+                            base.profile);
+    else {
+        std::cerr << "unknown policy: " << policy << "\n";
+        return 1;
+    }
+
+    TextTable table({"metric", "value"});
+    table.addRow({"IPC", TextTable::num(result.ipc, 3)});
+    table.addRow({"IPC vs DDR-only",
+                  TextTable::ratio(result.ipc / base.ipc)});
+    table.addRow({"SER vs DDR-only",
+                  TextTable::ratio(result.ser / base.ser, 1)});
+    table.addRow({"HBM traffic share",
+                  TextTable::percent(result.hbmAccessFraction)});
+    table.addRow({"avg read latency (cycles)",
+                  TextTable::num(result.avgReadLatency, 0)});
+    table.addRow({"pages migrated",
+                  TextTable::num(result.migratedPages)});
+    table.print(std::cout, workload + " / " + result.label);
+    return 0;
+}
+
+int
+cmdSweep(const std::string &workload)
+{
+    const auto data = prepareWorkload(specFor(workload));
+    const SystemConfig config = SystemConfig::scaledDefault();
+    const auto base = runDdrOnly(config, data);
+
+    TextTable table({"hot fraction", "IPC vs DDR-only",
+                     "SER vs DDR-only"});
+    for (const double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const auto result =
+            runHotFraction(config, data, base.profile, fraction);
+        table.addRow({TextTable::num(fraction, 2),
+                      TextTable::ratio(result.ipc / base.ipc),
+                      TextTable::ratio(result.ser / base.ser, 1)});
+    }
+    table.print(std::cout, workload + ": hot-fraction frontier");
+    return 0;
+}
+
+int
+cmdFaultsim(double stacked_factor)
+{
+    TextTable table({"memory", "ECC", "P(UE)", "FIT_unc/GB"});
+    const auto hbm =
+        FaultSim(FaultSimConfig::hbmSecDed(stacked_factor))
+            .run(100000, 42);
+    auto ddr_config = FaultSimConfig::ddrChipKill();
+    ddr_config.fitBoost = 30.0;
+    const auto ddr = FaultSim(ddr_config).run(1000000, 42);
+    table.addRow({"die-stacked", "SEC-DED",
+                  TextTable::num(hbm.pUncorrected, 8),
+                  TextTable::num(hbm.fitUncorrectedPerGB, 3)});
+    table.addRow({"off-package", "ChipKill",
+                  TextTable::num(ddr.pUncorrected, 8),
+                  TextTable::num(ddr.fitUncorrectedPerGB, 5)});
+    table.print(std::cout, "FaultSim campaign");
+    return 0;
+}
+
+int
+cmdTrace(const std::string &workload, const std::string &path)
+{
+    const auto data = prepareWorkload(specFor(workload));
+    writeWorkloadTrace(path, data.traces);
+    const auto restored = readWorkloadTrace(path);
+    const auto stats = computeStats(restored);
+    std::cout << "wrote " << stats.requests << " requests ("
+              << restored.size() << " cores) to " << path
+              << "; verified round-trip, MPKI "
+              << TextTable::num(stats.mpki(), 1) << "\n";
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: ramp_cli <command> [...]\n"
+        << "  workloads | profile <wl> | run <wl> <policy> |\n"
+        << "  sweep <wl> | faultsim [factor] | trace <wl> <file>\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string command = argv[1];
+    if (command == "workloads")
+        return cmdWorkloads();
+    if (command == "profile" && argc >= 3)
+        return cmdProfile(argv[2]);
+    if (command == "run" && argc >= 4)
+        return cmdRun(argv[2], argv[3]);
+    if (command == "sweep" && argc >= 3)
+        return cmdSweep(argv[2]);
+    if (command == "faultsim")
+        return cmdFaultsim(argc >= 3 ? std::atof(argv[2]) : 3.0);
+    if (command == "trace" && argc >= 4)
+        return cmdTrace(argv[2], argv[3]);
+    usage();
+    return 1;
+}

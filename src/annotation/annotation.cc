@@ -1,0 +1,119 @@
+#include "annotation/annotation.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace ramp
+{
+
+double
+StructureProfile::hotnessPerPage() const
+{
+    if (pages == 0)
+        return 0.0;
+    return static_cast<double>(reads + writes) /
+           static_cast<double>(pages);
+}
+
+std::vector<StructureProfile>
+profileStructures(const WorkloadLayout &layout,
+                  const PageProfile &profile)
+{
+    // Key: program-level identity (benchmark, structure name); every
+    // core's instance of the same program aggregates into one entry.
+    std::map<std::pair<std::string, std::string>, StructureProfile>
+        aggregate;
+    std::map<std::pair<std::string, std::string>, double> avf_sum;
+
+    for (const auto &range : layout.ranges) {
+        const auto key = std::make_pair(range.benchmark,
+                                        range.structure);
+        auto &entry = aggregate[key];
+        entry.benchmark = range.benchmark;
+        entry.structure = range.structure;
+        entry.pages += range.pages;
+        for (PageId page = range.firstPage; page < range.endPage();
+             ++page) {
+            const auto stats = profile.statsOf(page);
+            entry.reads += stats.reads;
+            entry.writes += stats.writes;
+            avf_sum[key] += stats.avf;
+        }
+    }
+
+    std::vector<StructureProfile> result;
+    result.reserve(aggregate.size());
+    for (auto &[key, entry] : aggregate) {
+        entry.avgAvf = entry.pages == 0
+                           ? 0.0
+                           : avf_sum[key] /
+                                 static_cast<double>(entry.pages);
+        result.push_back(entry);
+    }
+    return result;
+}
+
+AnnotationSelection
+selectAnnotations(const std::vector<StructureProfile> &structures,
+                  std::uint64_t hbm_capacity_pages, double mean_avf)
+{
+    // Candidates: low-risk structures, ranked by hotness density
+    // (what a profile-guided pass would hand the programmer).
+    std::vector<StructureProfile> candidates;
+    for (const auto &entry : structures)
+        if (entry.avgAvf <= mean_avf && entry.reads + entry.writes > 0)
+            candidates.push_back(entry);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const StructureProfile &a, const StructureProfile &b) {
+                  const double ha = a.hotnessPerPage();
+                  const double hb = b.hotnessPerPage();
+                  if (ha != hb)
+                      return ha > hb;
+                  if (a.benchmark != b.benchmark)
+                      return a.benchmark < b.benchmark;
+                  return a.structure < b.structure;
+              });
+
+    // Annotations accumulate until they provide a full HBM's worth
+    // of hot & low-risk pages (Figure 17); the loader pins pages in
+    // selection order and simply stops at capacity, so the last
+    // structure may be pinned partially.
+    AnnotationSelection selection;
+    for (const auto &candidate : candidates) {
+        if (selection.pinnedPages >= hbm_capacity_pages)
+            break;
+        selection.annotations.push_back(candidate);
+        selection.pinnedPages +=
+            std::min(candidate.pages,
+                     hbm_capacity_pages - selection.pinnedPages);
+    }
+    return selection;
+}
+
+PlacementMap
+buildAnnotatedPlacement(const WorkloadLayout &layout,
+                        const AnnotationSelection &selection,
+                        std::uint64_t hbm_capacity_pages)
+{
+    PlacementMap map(hbm_capacity_pages);
+    std::uint64_t pinned = 0;
+    for (const auto &annotation : selection.annotations) {
+        for (const auto &range : layout.ranges) {
+            if (range.benchmark != annotation.benchmark ||
+                range.structure != annotation.structure)
+                continue;
+            for (PageId page = range.firstPage;
+                 page < range.endPage(); ++page) {
+                if (pinned >= hbm_capacity_pages)
+                    return map;
+                map.placePinned(page, MemoryId::HBM);
+                ++pinned;
+            }
+        }
+    }
+    return map;
+}
+
+} // namespace ramp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Program-annotation-based data placement (paper Section 7).
+ *
+ * Annotations name program data structures that are frequently
+ * accessed but rarely live for long (hot & low-risk); the ELF loader
+ * then pins their pages in HBM, immune to migration. Because RAMP's
+ * workloads are generated from explicit structure specs, the layout
+ * gives exact page ranges per structure instance: a program-level
+ * annotation ("pin srcGrid") pins the structure in every core's
+ * instance of that program, mirroring 16 copies of one annotated
+ * binary.
+ */
+
+#ifndef RAMP_ANNOTATION_ANNOTATION_HH
+#define RAMP_ANNOTATION_ANNOTATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "placement/map.hh"
+#include "placement/profile.hh"
+#include "trace/workload.hh"
+
+namespace ramp
+{
+
+/** Aggregated profile of one program-level structure. */
+struct StructureProfile
+{
+    /** Program the structure belongs to. */
+    std::string benchmark;
+
+    /** Source-level structure name. */
+    std::string structure;
+
+    /** Pages across all instances (16 copies for homogeneous). */
+    std::uint64_t pages = 0;
+
+    /** Aggregate accesses across all instances. */
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    /** Page-weighted mean AVF of the structure's pages. */
+    double avgAvf = 0;
+
+    /** Accesses per page — the structure-level hotness density. */
+    double hotnessPerPage() const;
+};
+
+/** One chosen annotation and the bookkeeping of a selection. */
+struct AnnotationSelection
+{
+    /** Chosen structures, in selection (ranking) order. */
+    std::vector<StructureProfile> annotations;
+
+    /** Total pages the annotations pin. */
+    std::uint64_t pinnedPages = 0;
+
+    /** Number of source-level annotations (Figure 17's metric). */
+    std::size_t count() const { return annotations.size(); }
+};
+
+/**
+ * Aggregate per-page profile data to program-level structures using
+ * the workload layout as ground truth.
+ */
+std::vector<StructureProfile>
+profileStructures(const WorkloadLayout &layout,
+                  const PageProfile &profile);
+
+/**
+ * Pick the structures a programmer (or profile-guided compiler)
+ * would annotate: low-risk structures ranked by hotness density,
+ * greedily packed until the HBM capacity is reached.
+ *
+ * @param structures program-level structure profiles
+ * @param hbm_capacity_pages pages available for pinning
+ * @param mean_avf population AVF threshold separating low-risk
+ */
+AnnotationSelection
+selectAnnotations(const std::vector<StructureProfile> &structures,
+                  std::uint64_t hbm_capacity_pages, double mean_avf);
+
+/**
+ * Build the placement the annotations induce: every page of every
+ * instance of an annotated structure is pinned in HBM (until the
+ * capacity is exhausted); all remaining pages go to DDR.
+ */
+PlacementMap
+buildAnnotatedPlacement(const WorkloadLayout &layout,
+                        const AnnotationSelection &selection,
+                        std::uint64_t hbm_capacity_pages);
+
+} // namespace ramp
+
+#endif // RAMP_ANNOTATION_ANNOTATION_HH

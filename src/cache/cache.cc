@@ -1,0 +1,122 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ramp
+{
+
+std::uint64_t
+CacheConfig::numSets() const
+{
+    return sizeBytes / (lineBytes * associativity);
+}
+
+double
+CacheStats::missRatio() const
+{
+    if (accesses == 0)
+        return 0.0;
+    return static_cast<double>(misses) / static_cast<double>(accesses);
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : config_(config)
+{
+    if (config.lineBytes == 0 || config.associativity == 0)
+        ramp_fatal("cache line size and associativity must be > 0");
+    if (config.sizeBytes %
+            (config.lineBytes * config.associativity) != 0)
+        ramp_fatal("cache size must be a multiple of line * ways");
+    const std::uint64_t sets = config.numSets();
+    if (sets == 0)
+        ramp_fatal("cache must have at least one set");
+    sets_.resize(sets);
+    for (auto &set : sets_)
+        set.resize(config.associativity);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr / config_.lineBytes) % sets_.size();
+}
+
+std::uint64_t
+SetAssocCache::tagOf(Addr addr) const
+{
+    return (addr / config_.lineBytes) / sets_.size();
+}
+
+SetAssocCache::AccessResult
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    ++stats_.accesses;
+    auto &set = sets_[setIndex(addr)];
+    const std::uint64_t tag = tagOf(addr);
+
+    AccessResult result;
+    for (std::size_t way = 0; way < set.size(); ++way) {
+        if (set[way].valid && set[way].tag == tag) {
+            // Hit: move to MRU, update dirtiness.
+            Way line = set[way];
+            line.dirty = line.dirty || is_write;
+            set.erase(set.begin() + static_cast<std::ptrdiff_t>(way));
+            set.insert(set.begin(), line);
+            ++stats_.hits;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: evict LRU, allocate at MRU.
+    ++stats_.misses;
+    const Way &victim = set.back();
+    if (victim.valid) {
+        ++stats_.evictions;
+        if (victim.dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+            result.writebackAddr =
+                (victim.tag * sets_.size() + setIndex(addr)) *
+                config_.lineBytes;
+        }
+    }
+    set.pop_back();
+    Way line;
+    line.tag = tag;
+    line.valid = true;
+    line.dirty = is_write;
+    set.insert(set.begin(), line);
+    return result;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const auto &set = sets_[setIndex(addr)];
+    const std::uint64_t tag = tagOf(addr);
+    return std::any_of(set.begin(), set.end(), [&](const Way &way) {
+        return way.valid && way.tag == tag;
+    });
+}
+
+std::vector<Addr>
+SetAssocCache::flush()
+{
+    std::vector<Addr> dirty;
+    for (std::uint64_t index = 0; index < sets_.size(); ++index) {
+        for (auto &way : sets_[index]) {
+            if (way.valid && way.dirty) {
+                dirty.push_back((way.tag * sets_.size() + index) *
+                                config_.lineBytes);
+                ++stats_.writebacks;
+            }
+            way = Way{};
+        }
+    }
+    return dirty;
+}
+
+} // namespace ramp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Trace filter: CPU-level stream -> memory-level stream.
+ *
+ * The Moola-equivalent step of the paper's methodology (Section 3.1):
+ * a CPU-level trace is replayed through the cache hierarchy and only
+ * L2 misses and dirty writebacks survive, with the instruction gaps
+ * of absorbed accesses folded into the next surviving record.
+ */
+
+#ifndef RAMP_CACHE_FILTER_HH
+#define RAMP_CACHE_FILTER_HH
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace ramp
+{
+
+/** Statistics of one filtering run. */
+struct FilterStats
+{
+    std::uint64_t cpuAccesses = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t writebacks = 0;
+
+    /** Fraction of CPU accesses that reached memory. */
+    double passRatio() const;
+};
+
+/**
+ * Filter per-core CPU-level traces through a shared hierarchy.
+ *
+ * Cores are interleaved in instruction-count order so the shared L2
+ * sees a realistic merged stream. Dirty lines are drained at the end
+ * (appended to core 0's stream), mirroring a workload teardown.
+ *
+ * @param cpu_traces one CPU-level trace per core
+ * @param config cache hierarchy geometry
+ * @param stats optional out-param for filter statistics
+ * @return one memory-level trace per core
+ */
+std::vector<CoreTrace>
+filterTraces(const std::vector<CoreTrace> &cpu_traces,
+             const HierarchyConfig &config,
+             FilterStats *stats = nullptr);
+
+} // namespace ramp
+
+#endif // RAMP_CACHE_FILTER_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Two-level cache hierarchy: private L1s, one shared L2 (Table 1).
+ */
+
+#ifndef RAMP_CACHE_HIERARCHY_HH
+#define RAMP_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+
+namespace ramp
+{
+
+/** Geometry of the full hierarchy. */
+struct HierarchyConfig
+{
+    /** Number of cores (private L1 pairs). */
+    int cores = 16;
+
+    /** Private instruction cache (32 KB, 2-way in Table 1). */
+    CacheConfig l1i{32 * 1024, 2, lineSize};
+
+    /** Private data cache (16 KB, 4-way in Table 1). */
+    CacheConfig l1d{16 * 1024, 4, lineSize};
+
+    /**
+     * Shared L2. The paper uses 16 MB / 16-way; the scaled default
+     * here keeps the paper's L2:HBM capacity ratio (1:64).
+     */
+    CacheConfig l2{512 * 1024, 16, lineSize};
+};
+
+/**
+ * Inclusive-of-nothing (non-enforcing) two-level hierarchy model.
+ *
+ * Data accesses probe the issuing core's L1D, then the shared L2; L1
+ * dirty victims are installed into L2; L2 dirty victims become memory
+ * writebacks. Instruction fetches use the L1I and then the L2.
+ */
+class CacheHierarchy
+{
+  public:
+    /** One resulting main-memory access. */
+    struct MemAccess
+    {
+        Addr addr = 0;
+        bool isWrite = false;
+    };
+
+    /** Outcome of one CPU access. */
+    struct Result
+    {
+        /** True when no memory access was required. */
+        bool l1Hit = false;
+
+        /** True when the L2 absorbed the L1 miss. */
+        bool l2Hit = false;
+
+        /**
+         * Memory traffic generated: up to three accesses when an L1
+         * dirty victim's L2 update evicts dirty data, the demand
+         * fetch misses, and the L2 fill evicts dirty data too.
+         */
+        MemAccess accesses[3];
+
+        /** Number of valid entries in accesses. */
+        int numAccesses = 0;
+    };
+
+    explicit CacheHierarchy(const HierarchyConfig &config);
+
+    /** Perform one data access from a core. */
+    Result accessData(CoreId core, Addr addr, bool is_write);
+
+    /** Perform one instruction fetch from a core. */
+    Result accessInst(CoreId core, Addr addr);
+
+    /** Drain all dirty lines (end of simulation) to memory accesses. */
+    std::vector<MemAccess> drain();
+
+    /** @{ @name Statistics access */
+    const CacheStats &l1dStats(CoreId core) const;
+    const CacheStats &l1iStats(CoreId core) const;
+    const CacheStats &l2Stats() const { return l2_.stats(); }
+    /** @} */
+
+  private:
+    Result accessThroughL2(SetAssocCache &l1, Addr addr,
+                           bool is_write);
+
+    HierarchyConfig config_;
+    std::vector<SetAssocCache> l1i_;
+    std::vector<SetAssocCache> l1d_;
+    SetAssocCache l2_;
+};
+
+} // namespace ramp
+
+#endif // RAMP_CACHE_HIERARCHY_HH

@@ -1,0 +1,50 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace ramp
+{
+
+namespace
+{
+bool logQuiet = false;
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    logQuiet = quiet;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!logQuiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!logQuiet)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace ramp

@@ -1,0 +1,146 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ramp
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+pearsonCorrelation(std::span<const double> xs, std::span<const double> ys)
+{
+    if (xs.size() != ys.size())
+        ramp_panic("pearsonCorrelation: size mismatch");
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = 0, my = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += xs[i];
+        my += ys[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+
+    double sxy = 0, sxx = 0, syy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0;
+    for (const double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        ramp_fatal("Histogram needs at least one bin");
+    if (hi <= lo)
+        ramp_fatal("Histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto bin = static_cast<std::int64_t>((x - lo_) / width);
+    bin = std::clamp<std::int64_t>(
+        bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return binLow(i + 1);
+}
+
+double
+geometricMean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (const double x : xs) {
+        if (x <= 0)
+            ramp_panic("geometricMean requires positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace ramp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Statistics helpers used by the motivation studies and the harness.
+ *
+ * The paper's motivation (Figs 4, 6, 9) is built on summary statistics
+ * over page populations: means, Pearson correlation between hotness and
+ * AVF, and binned histograms of write ratios. These are implemented
+ * here once and shared by tests, benches, and the quadrant analysis.
+ */
+
+#ifndef RAMP_COMMON_STATS_HH
+#define RAMP_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ramp
+{
+
+/** Single-pass accumulator for mean/variance/min/max (Welford). */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples observed. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const;
+
+    /** Unbiased sample variance (0 with < 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observed sample (0 when empty). */
+    double min() const;
+
+    /** Largest observed sample (0 when empty). */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0;
+    double m2_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    double sum_ = 0;
+};
+
+/**
+ * Pearson correlation coefficient of two equal-length series.
+ *
+ * Returns 0 when either series is constant or the series are empty —
+ * the convention used when quoting the paper's rho values.
+ */
+double pearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/** Arithmetic mean of a series (0 when empty). */
+double mean(std::span<const double> xs);
+
+/** Fixed-width histogram over [lo, hi) with a given bin count. */
+class Histogram
+{
+  public:
+    /** Build an empty histogram; hi must exceed lo, bins >= 1. */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add a sample; values outside [lo, hi) clamp to the end bins. */
+    void add(double x);
+
+    /** Count in bin i. */
+    std::uint64_t binCount(std::size_t i) const { return counts_[i]; }
+
+    /** Number of bins. */
+    std::size_t numBins() const { return counts_.size(); }
+
+    /** Total samples added. */
+    std::uint64_t total() const { return total_; }
+
+    /** Inclusive lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    /** Exclusive upper edge of bin i. */
+    double binHigh(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Geometric mean of a series of positive values.
+ *
+ * The harness reports cross-workload speedups as geometric means, the
+ * usual convention for normalised performance ratios.
+ */
+double geometricMean(std::span<const double> xs);
+
+} // namespace ramp
+
+#endif // RAMP_COMMON_STATS_HH

@@ -1,0 +1,85 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ramp
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        ramp_fatal("TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        ramp_panic("TextTable row arity ", cells.size(),
+                   " != header arity ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TextTable::num(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+std::string
+TextTable::ratio(double value, int precision)
+{
+    return num(value, precision) + "x";
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+void
+TextTable::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+
+    emit_row(headers_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+    os << std::string(rule, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace ramp

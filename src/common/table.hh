@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Aligned text-table printer for the benchmark harness.
+ *
+ * Every bench binary regenerates a paper table/figure as rows on
+ * stdout; this printer keeps their formatting consistent (fixed-width
+ * columns, a header rule, optional title) so the harness output is
+ * directly comparable with EXPERIMENTS.md.
+ */
+
+#ifndef RAMP_COMMON_TABLE_HH
+#define RAMP_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ramp
+{
+
+/** Column-aligned table accumulated row-by-row, printed at the end. */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; it must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with fixed precision, for use as a cell. */
+    static std::string num(double value, int precision = 3);
+
+    /** Format an integer cell. */
+    static std::string num(std::uint64_t value);
+
+    /** Format a ratio as e.g. "1.62x". */
+    static std::string ratio(double value, int precision = 2);
+
+    /** Format a fraction as a percentage, e.g. "14.1%". */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render to a stream with an optional title line. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ramp
+
+#endif // RAMP_COMMON_TABLE_HH

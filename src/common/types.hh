@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fundamental types and address arithmetic shared by every RAMP module.
+ *
+ * The simulator operates on a flat physical address space partitioned
+ * into 4 KB pages of 64 B cache lines, matching the granularities used
+ * throughout the paper (AVF is tracked per cache line and composed per
+ * page; placement and migration operate on pages).
+ */
+
+#ifndef RAMP_COMMON_TYPES_HH
+#define RAMP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ramp
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Index of a 4 KB page within the address space. */
+using PageId = std::uint64_t;
+
+/** Index of a 64 B cache line within the address space. */
+using LineId = std::uint64_t;
+
+/** Core (hardware thread) identifier; the paper models 16 cores. */
+using CoreId = std::uint16_t;
+
+/** Cache line size in bytes; memory requests move one line. */
+constexpr std::uint64_t lineSize = 64;
+
+/** OS page size in bytes; placement/migration granularity. */
+constexpr std::uint64_t pageSize = 4096;
+
+/** Number of cache lines per page (64 for 4 KB / 64 B). */
+constexpr std::uint64_t linesPerPage = pageSize / lineSize;
+
+/** Number of bits in a page; used by the AVF/SER composition. */
+constexpr std::uint64_t pageBits = pageSize * 8;
+
+/** Sentinel for "no page". */
+constexpr PageId invalidPage = std::numeric_limits<PageId>::max();
+
+/** Extract the page index of a byte address. */
+constexpr PageId
+pageOf(Addr addr)
+{
+    return addr / pageSize;
+}
+
+/** Extract the global line index of a byte address. */
+constexpr LineId
+lineOf(Addr addr)
+{
+    return addr / lineSize;
+}
+
+/** Line index within its page, in [0, linesPerPage). */
+constexpr std::uint64_t
+lineInPage(Addr addr)
+{
+    return (addr % pageSize) / lineSize;
+}
+
+/** First byte address of a page. */
+constexpr Addr
+pageBase(PageId page)
+{
+    return page * pageSize;
+}
+
+/** First byte address of a global line index. */
+constexpr Addr
+lineBase(LineId line)
+{
+    return line * lineSize;
+}
+
+/** Identifies one of the two memories of the HMA system. */
+enum class MemoryId : std::uint8_t
+{
+    /** Fast, low-reliability on-package stacked memory. */
+    HBM = 0,
+    /** Slow, high-reliability off-package memory. */
+    DDR = 1,
+};
+
+/** Number of distinct memories in the HMA. */
+constexpr int numMemories = 2;
+
+/** Human-readable name of a memory. */
+constexpr const char *
+memoryName(MemoryId mem)
+{
+    return mem == MemoryId::HBM ? "HBM" : "DDR";
+}
+
+} // namespace ramp
+
+#endif // RAMP_COMMON_TYPES_HH

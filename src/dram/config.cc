@@ -1,0 +1,67 @@
+#include "dram/config.hh"
+
+namespace ramp
+{
+
+double
+DramConfig::peakBandwidth() const
+{
+    if (timing.tBURST == 0)
+        return 0.0;
+    return static_cast<double>(channels) *
+           static_cast<double>(lineSize) /
+           static_cast<double>(timing.tBURST);
+}
+
+Cycle
+DramConfig::idleReadLatency() const
+{
+    return timing.tCL + timing.tBURST;
+}
+
+DramConfig
+ddr3Config(std::uint64_t capacity_bytes)
+{
+    DramConfig config;
+    config.name = "DDR3";
+    config.id = MemoryId::DDR;
+    config.capacityBytes = capacity_bytes;
+    config.channels = 2;
+    config.ranksPerChannel = 1;
+    config.banksPerRank = 8;
+    config.rowBytes = 8192;
+    // DDR3-1600 (tCK 1.25 ns): 11-11-11, tRAS 35 ns. One 64 B line
+    // is 8 beats on the 64-bit bus = 4 bus cycles = 5 ns.
+    config.timing.tRCD = nsToCycles(13.75);
+    config.timing.tRP = nsToCycles(13.75);
+    config.timing.tCL = nsToCycles(13.75);
+    config.timing.tCWL = nsToCycles(10.0);
+    config.timing.tRAS = nsToCycles(35.0);
+    config.timing.tBURST = nsToCycles(5.0);
+    return config;
+}
+
+DramConfig
+hbmConfig(std::uint64_t capacity_bytes)
+{
+    DramConfig config;
+    config.name = "HBM";
+    config.id = MemoryId::HBM;
+    config.capacityBytes = capacity_bytes;
+    config.channels = 8;
+    config.ranksPerChannel = 1;
+    config.banksPerRank = 8;
+    config.rowBytes = 2048;
+    // HBM at 500 MHz (DDR 1.0 GHz), 128-bit bus: one 64 B line is
+    // 4 beats = 2 bus cycles = 4 ns. Core timings are close to DDR3
+    // in absolute terms.
+    config.timing.tRCD = nsToCycles(14.0);
+    config.timing.tRP = nsToCycles(14.0);
+    config.timing.tCL = nsToCycles(14.0);
+    config.timing.tCWL = nsToCycles(8.0);
+    config.timing.tRAS = nsToCycles(34.0);
+    config.timing.tBURST = nsToCycles(4.0);
+    return config;
+}
+
+} // namespace ramp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * DRAM device geometry and timing (Table 1 presets).
+ *
+ * Timing is expressed in core clock cycles (3.2 GHz, 0.3125 ns) so
+ * the memory model and the trace-driven core model share one clock.
+ * The presets implement the paper's two memories: off-package
+ * DDR3-1600 (2 channels x 64-bit) and on-package HBM (8 channels x
+ * 128-bit at 1 GHz DDR). Per-channel peak bandwidth follows directly
+ * from the burst occupancy: 64 B take 16 core cycles on a DDR3
+ * channel and ~13 on an HBM channel, giving the paper's ~5x aggregate
+ * bandwidth advantage for HBM.
+ */
+
+#ifndef RAMP_DRAM_CONFIG_HH
+#define RAMP_DRAM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ramp
+{
+
+/** Core frequency used to convert nanoseconds to cycles. */
+constexpr double coreFrequencyGHz = 3.2;
+
+/** Convert nanoseconds to (rounded) core cycles. */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    return static_cast<Cycle>(ns * coreFrequencyGHz + 0.5);
+}
+
+/** DRAM command timing, in core cycles. */
+struct DramTiming
+{
+    /** Activate to column command. */
+    Cycle tRCD = 0;
+
+    /** Precharge. */
+    Cycle tRP = 0;
+
+    /** Read column access strobe latency. */
+    Cycle tCL = 0;
+
+    /** Write column latency. */
+    Cycle tCWL = 0;
+
+    /** Activate to precharge. */
+    Cycle tRAS = 0;
+
+    /** Data-bus occupancy of one 64 B transfer. */
+    Cycle tBURST = 0;
+};
+
+/** Full description of one memory device. */
+struct DramConfig
+{
+    /** Human-readable name ("HBM", "DDR3"). */
+    std::string name;
+
+    /** Which HMA slot this device fills. */
+    MemoryId id = MemoryId::DDR;
+
+    /** Total capacity in bytes. */
+    std::uint64_t capacityBytes = 0;
+
+    /** Independent channels. */
+    std::uint32_t channels = 1;
+
+    /** Ranks per channel. */
+    std::uint32_t ranksPerChannel = 1;
+
+    /** Banks per rank. */
+    std::uint32_t banksPerRank = 8;
+
+    /** Row-buffer size in bytes. */
+    std::uint64_t rowBytes = 8192;
+
+    /** Command/data timing. */
+    DramTiming timing;
+
+    /** Capacity in 4 KB pages. */
+    std::uint64_t capacityPages() const
+    {
+        return capacityBytes / pageSize;
+    }
+
+    /** Total banks across the device. */
+    std::uint32_t totalBanks() const
+    {
+        return channels * ranksPerChannel * banksPerRank;
+    }
+
+    /** Aggregate peak bandwidth in bytes per core cycle. */
+    double peakBandwidth() const;
+
+    /** Unloaded row-hit read latency in core cycles. */
+    Cycle idleReadLatency() const;
+};
+
+/**
+ * Off-package DDR3-1600 per Table 1: 2 channels, 64-bit bus,
+ * 800 MHz (DDR 1.6 GHz). Default capacity is the 1/32-scaled 512 MB.
+ */
+DramConfig ddr3Config(std::uint64_t capacity_bytes = 512ULL << 20);
+
+/**
+ * On-package HBM per Table 1: 8 channels, 128-bit bus, 500 MHz
+ * (DDR 1.0 GHz). Default capacity is the 1/32-scaled 32 MB.
+ */
+DramConfig hbmConfig(std::uint64_t capacity_bytes = 32ULL << 20);
+
+} // namespace ramp
+
+#endif // RAMP_DRAM_CONFIG_HH

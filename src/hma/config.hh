@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Full system configuration (Table 1, scaled 1/32 in capacity).
+ *
+ * One struct gathers the knobs of every subsystem so experiments are
+ * reproducible from a single value. Time is in core cycles at
+ * 3.2 GHz; the scaled migration intervals keep the paper's ratio of
+ * interval length to HBM-turnover time (see DESIGN.md).
+ */
+
+#ifndef RAMP_HMA_CONFIG_HH
+#define RAMP_HMA_CONFIG_HH
+
+#include <cstdint>
+
+#include "dram/config.hh"
+#include "reliability/ser.hh"
+
+namespace ramp
+{
+
+/** Everything the HMA simulator needs to run one experiment. */
+struct SystemConfig
+{
+    /** @{ @name Processor (Table 1) */
+    int cores = 16;
+    std::uint32_t issueWidth = 4;
+    std::uint32_t robSize = 128;
+
+    /** Outstanding read misses a core can sustain (MSHR limit). */
+    std::uint32_t maxOutstandingReads = 8;
+    /** @} */
+
+    /** @{ @name Memories */
+    DramConfig hbm = hbmConfig();
+    DramConfig ddr = ddr3Config();
+    /** @} */
+
+    /** Per-memory uncorrected FIT for the SER model. */
+    SerParams ser;
+
+    /** @{ @name Migration intervals (scaled; swept in Fig 13) */
+    /** Full-Counter interval (paper: 100 ms). */
+    Cycle fcIntervalCycles = 3'200'000;
+
+    /** MEA interval (paper: 50 us). */
+    Cycle meaIntervalCycles = 100'000;
+
+    /**
+     * Page-move budget per FC interval. The paper's 47K migrations
+     * per 100 ms consume ~15% of DDR bandwidth; with the 1/32 scaled
+     * capacity (and hence a compressed time axis), the equivalent
+     * bandwidth share is this many pages per interval.
+     */
+    std::uint32_t fcMigrationCapPages = 256;
+
+    /** MEA promotion budget per MEA interval (same reasoning). */
+    std::uint32_t ccPromotionCapPages = 8;
+
+    /**
+     * Pacing of migration line transfers: one 64 B line every this
+     * many cycles (32 = 2 B/cycle, about a quarter of the DDR
+     * bandwidth), so page copies interleave with demand traffic
+     * instead of bursting at the boundary.
+     */
+    Cycle migLineSpacingCycles = 32;
+    /** @} */
+
+    /** HBM capacity in pages. */
+    std::uint64_t hbmPages() const { return hbm.capacityPages(); }
+
+    /** MEA intervals per FC interval for the cross-counter scheme. */
+    std::uint32_t fcPerMea() const
+    {
+        return static_cast<std::uint32_t>(
+            fcIntervalCycles / meaIntervalCycles);
+    }
+
+    /** The default scaled Table 1 system. */
+    static SystemConfig scaledDefault() { return SystemConfig{}; }
+};
+
+} // namespace ramp
+
+#endif // RAMP_HMA_CONFIG_HH

@@ -1,0 +1,85 @@
+#include "hma/core_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ramp
+{
+
+CoreModel::CoreModel(const CoreTrace &trace, std::uint32_t issue_width,
+                     std::uint32_t rob_size, std::uint32_t max_reads)
+    : trace_(&trace), issueWidth_(issue_width), robSize_(rob_size),
+      maxReads_(max_reads)
+{
+    if (issue_width == 0 || rob_size == 0 || max_reads == 0)
+        ramp_fatal("core model parameters must be positive");
+    if (!trace.empty())
+        computeNextReady();
+}
+
+void
+CoreModel::computeNextReady()
+{
+    const MemRequest &req = (*trace_)[next_];
+
+    // Compute-limited time: the gap's instructions retire at the
+    // issue width.
+    computeReady_ += static_cast<double>(req.gap) /
+                     static_cast<double>(issueWidth_);
+    Cycle ready = static_cast<Cycle>(computeReady_);
+
+    // Retire reads that have certainly completed by then.
+    while (!outstanding_.empty() && outstanding_.top() <= ready)
+        outstanding_.pop();
+
+    // MSHR constraint: wait for the oldest read if all slots busy.
+    while (outstanding_.size() >= maxReads_) {
+        ready = std::max(ready, outstanding_.top());
+        outstanding_.pop();
+    }
+
+    // ROB constraint: the next instruction may not be more than
+    // robSize_ instructions ahead of an incomplete read.
+    const std::uint64_t instr_index = instructions_ + req.gap;
+    while (!robWindow_.empty()) {
+        const auto &[completion, index] = robWindow_.front();
+        if (completion <= ready) {
+            robWindow_.pop_front();
+            continue;
+        }
+        if (instr_index - index >= robSize_) {
+            ready = std::max(ready, completion);
+            robWindow_.pop_front();
+            continue;
+        }
+        break;
+    }
+
+    computeReady_ = std::max(computeReady_,
+                             static_cast<double>(ready));
+    readyTime_ = ready;
+}
+
+bool
+CoreModel::retire(Cycle completion)
+{
+    const MemRequest &req = (*trace_)[next_];
+    instructions_ += req.instructions();
+
+    if (!req.isWrite) {
+        outstanding_.push(completion);
+        robWindow_.emplace_back(completion, instructions_);
+        finishTime_ = std::max(finishTime_, completion);
+    } else {
+        // Posted write: the core moves on at issue time.
+        finishTime_ = std::max(finishTime_, readyTime_);
+    }
+
+    if (++next_ >= trace_->size())
+        return false;
+    computeNextReady();
+    return true;
+}
+
+} // namespace ramp

@@ -1,0 +1,275 @@
+#include "hma/system.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+#include "hma/core_model.hh"
+
+namespace ramp
+{
+
+HmaSystem::HmaSystem(const SystemConfig &config)
+    : config_(config), hbm_(config.hbm), ddr_(config.ddr)
+{
+    if (config.cores <= 0)
+        ramp_fatal("system needs at least one core");
+}
+
+void
+HmaSystem::Residency::enter(PageId page, Cycle now)
+{
+    enteredAt[page] = now;
+}
+
+void
+HmaSystem::Residency::leave(PageId page, Cycle now)
+{
+    const auto it = enteredAt.find(page);
+    if (it == enteredAt.end())
+        return;
+    accumulated[page] += now - it->second;
+    enteredAt.erase(it);
+}
+
+double
+HmaSystem::Residency::fraction(PageId page, Cycle makespan) const
+{
+    if (makespan == 0)
+        return 0.0;
+    Cycle total = 0;
+    const auto acc = accumulated.find(page);
+    if (acc != accumulated.end())
+        total += acc->second;
+    const auto open = enteredAt.find(page);
+    if (open != enteredAt.end())
+        total += makespan - std::min(makespan, open->second);
+    return std::min(1.0, static_cast<double>(total) /
+                             static_cast<double>(makespan));
+}
+
+namespace
+{
+
+/** Device addresses of every line of a page (allocates the frame). */
+std::vector<Addr>
+pageLineAddrs(PlacementMap &map, PageId page)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(linesPerPage);
+    const Addr base = pageBase(page);
+    for (std::uint64_t l = 0; l < linesPerPage; ++l)
+        addrs.push_back(map.deviceAddr(base + l * lineSize));
+    return addrs;
+}
+
+} // namespace
+
+void
+HmaSystem::scheduleTransfer(Cycle &next_slot,
+                            const std::vector<Addr> &src_addrs,
+                            MemoryId src_mem,
+                            const std::vector<Addr> &dst_addrs,
+                            MemoryId dst_mem,
+                            std::deque<MigOp> &transfers)
+{
+    for (std::size_t i = 0; i < src_addrs.size(); ++i) {
+        transfers.push_back({next_slot, src_addrs[i], src_mem,
+                             false});
+        transfers.push_back({next_slot, dst_addrs[i], dst_mem, true});
+        next_slot += config_.migLineSpacingCycles;
+    }
+}
+
+void
+HmaSystem::applyDecision(PlacementMap &map,
+                         const MigrationDecision &decision, Cycle now,
+                         Residency &residency,
+                         std::deque<MigOp> &transfers)
+{
+    // Pace this decision's copies after any still-draining ones.
+    Cycle next_slot = now;
+    if (!transfers.empty())
+        next_slot = std::max(next_slot, transfers.back().when);
+
+    // Evictions first: they free the frames promotions fill.
+    for (const PageId page : decision.evictions) {
+        auto src_addrs = pageLineAddrs(map, page);
+        if (!map.evictToDdr(page))
+            continue;
+        residency.leave(page, now);
+        scheduleTransfer(next_slot, src_addrs, MemoryId::HBM,
+                         pageLineAddrs(map, page), MemoryId::DDR,
+                         transfers);
+    }
+
+    for (const auto &[hbm_page, ddr_page] : decision.swaps) {
+        auto hbm_addrs = pageLineAddrs(map, hbm_page);
+        auto ddr_addrs = pageLineAddrs(map, ddr_page);
+        if (!map.swap(hbm_page, ddr_page))
+            continue;
+        residency.leave(hbm_page, now);
+        residency.enter(ddr_page, now);
+        // Out-of-HBM copy and into-HBM copy; frames were exchanged,
+        // so the new device addresses are the old partner's.
+        scheduleTransfer(next_slot, hbm_addrs, MemoryId::HBM,
+                         pageLineAddrs(map, hbm_page), MemoryId::DDR,
+                         transfers);
+        scheduleTransfer(next_slot, ddr_addrs, MemoryId::DDR,
+                         pageLineAddrs(map, ddr_page), MemoryId::HBM,
+                         transfers);
+    }
+
+    for (const PageId page : decision.promotions) {
+        auto src_addrs = pageLineAddrs(map, page);
+        if (!map.promoteToHbm(page))
+            continue;
+        residency.enter(page, now);
+        scheduleTransfer(next_slot, src_addrs, MemoryId::DDR,
+                         pageLineAddrs(map, page), MemoryId::HBM,
+                         transfers);
+    }
+}
+
+SimResult
+HmaSystem::run(const std::vector<CoreTrace> &traces,
+               PlacementMap placement, MigrationEngine *engine)
+{
+    if (static_cast<int>(traces.size()) > config_.cores)
+        ramp_fatal("more traces than configured cores");
+
+    SimResult result;
+    AvfTracker avf;
+    Residency residency;
+
+    for (const PageId page : placement.hbmPages())
+        residency.enter(page, 0);
+
+    std::vector<CoreModel> cores;
+    cores.reserve(traces.size());
+    for (const auto &trace : traces)
+        cores.emplace_back(trace, config_.issueWidth, config_.robSize,
+                           config_.maxOutstandingReads);
+
+    // Global issue order: earliest-ready core first.
+    using Entry = std::pair<Cycle, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        if (!cores[i].done())
+            pq.push({cores[i].nextIssueTime(), i});
+
+    Cycle next_boundary =
+        engine != nullptr ? engine->interval() : 0;
+    std::deque<MigOp> transfers;
+    auto drain_transfers = [&](Cycle up_to) {
+        while (!transfers.empty() && transfers.front().when <= up_to) {
+            const MigOp op = transfers.front();
+            transfers.pop_front();
+            DramMemory &dram =
+                op.mem == MemoryId::HBM ? hbm_ : ddr_;
+            dram.access(op.when, op.devAddr, op.isWrite);
+        }
+    };
+
+    while (!pq.empty()) {
+        const auto [ready, core_idx] = pq.top();
+        pq.pop();
+        CoreModel &core = cores[core_idx];
+        const Cycle issue_t = core.nextIssueTime();
+
+        // Interval boundaries strictly before this issue.
+        while (engine != nullptr && next_boundary <= issue_t) {
+            drain_transfers(next_boundary);
+            const auto decision =
+                engine->onInterval(next_boundary, placement);
+            if (!decision.empty()) {
+                ++result.migrationEvents;
+                applyDecision(placement, decision, next_boundary,
+                              residency, transfers);
+            }
+            next_boundary += engine->interval();
+        }
+        drain_transfers(issue_t);
+
+        const MemRequest &req = core.current();
+        const PageId page = pageOf(req.addr);
+        const MemoryId mem = placement.memoryOf(page);
+
+        if (engine != nullptr)
+            engine->onAccess(page, req.isWrite, mem);
+        const Cycle penalty =
+            engine != nullptr ? engine->remapPenalty(page) : 0;
+
+        avf.onAccess(req.addr, req.isWrite, issue_t);
+        result.profile.recordAccess(page, req.isWrite);
+
+        const Addr dev_addr = placement.deviceAddr(req.addr);
+        DramMemory &dram = mem == MemoryId::HBM ? hbm_ : ddr_;
+        const Cycle completion =
+            dram.access(issue_t + penalty, dev_addr, req.isWrite);
+
+        ++result.requests;
+        if (req.isWrite)
+            ++result.writes;
+        else
+            ++result.reads;
+        if (mem == MemoryId::HBM)
+            ++result.hbmAccessFraction; // normalised below
+
+        if (core.retire(req.isWrite ? issue_t : completion))
+            pq.push({core.nextIssueTime(), core_idx});
+    }
+
+    // Finish any still-draining page copies.
+    drain_transfers(UINT64_MAX);
+
+    for (const auto &core : cores) {
+        result.instructions += core.instructions();
+        result.makespan = std::max(result.makespan,
+                                   core.finishTime());
+    }
+    result.makespan = std::max<Cycle>(result.makespan, 1);
+    result.ipc = static_cast<double>(result.instructions) /
+                 static_cast<double>(result.makespan);
+    result.mpki = result.instructions == 0
+                      ? 0.0
+                      : static_cast<double>(result.requests) *
+                            1000.0 /
+                            static_cast<double>(result.instructions);
+    result.hbmAccessFraction =
+        result.requests == 0
+            ? 0.0
+            : result.hbmAccessFraction /
+                  static_cast<double>(result.requests);
+
+    avf.finalize(result.makespan);
+    result.memoryAvf = avf.memoryAvf();
+    for (const auto &[page, page_avf] : avf.pageAvfs())
+        result.profile.setAvf(page, page_avf);
+
+    // Residency-weighted Equation 2.
+    const SerParams &ser = config_.ser;
+    for (const auto &[page, stats] : result.profile.pages()) {
+        const double in_hbm =
+            residency.fraction(page, result.makespan);
+        result.ser += stats.avf *
+                      (ser.fitPerPage(MemoryId::HBM) * in_hbm +
+                       ser.fitPerPage(MemoryId::DDR) *
+                           (1.0 - in_hbm));
+    }
+
+    result.hbmStats = hbm_.stats();
+    result.ddrStats = ddr_.stats();
+    const std::uint64_t total_reads =
+        result.hbmStats.reads + result.ddrStats.reads;
+    if (total_reads > 0) {
+        result.avgReadLatency =
+            static_cast<double>(result.hbmStats.totalReadLatency +
+                                result.ddrStats.totalReadLatency) /
+            static_cast<double>(total_reads);
+    }
+    result.migratedPages = placement.migrations();
+    return result;
+}
+
+} // namespace ramp

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The HMA system simulator: 16 cores, two memories, one placement.
+ *
+ * Ties every substrate together: cores replay traces through the
+ * placement map onto the two DRAM timing models, the AVF tracker
+ * watches the global request stream, an optional migration engine is
+ * driven at interval boundaries (its page moves are charged as real
+ * line transfers into both memories), and the result carries IPC,
+ * per-memory statistics, the measured page profile, and the
+ * residency-weighted SER of Equation 2.
+ */
+
+#ifndef RAMP_HMA_SYSTEM_HH
+#define RAMP_HMA_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/memory.hh"
+#include "hma/config.hh"
+#include "migration/engine.hh"
+#include "placement/map.hh"
+#include "placement/profile.hh"
+#include "reliability/avf.hh"
+#include "trace/trace.hh"
+
+namespace ramp
+{
+
+/** Everything one simulation run produced. */
+struct SimResult
+{
+    /** Configuration label (policy name). */
+    std::string label;
+
+    /** @{ @name Performance */
+    Cycle makespan = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    /** System throughput: instructions per cycle over the run. */
+    double ipc = 0;
+
+    /** Memory accesses per kilo-instruction. */
+    double mpki = 0;
+
+    /** Mean read latency over both memories, in cycles. */
+    double avgReadLatency = 0;
+
+    /** Fraction of demand accesses served by the HBM. */
+    double hbmAccessFraction = 0;
+    /** @} */
+
+    /** @{ @name Memory-device statistics */
+    DramStats hbmStats;
+    DramStats ddrStats;
+    /** @} */
+
+    /** @{ @name Migration activity */
+    std::uint64_t migratedPages = 0;
+    std::uint64_t migrationEvents = 0;
+    /** @} */
+
+    /** @{ @name Reliability */
+    /** Per-page counts and AVF measured during this run. */
+    PageProfile profile;
+
+    /** Footprint-mean memory AVF. */
+    double memoryAvf = 0;
+
+    /** Residency-weighted SER (Equation 2, arbitrary FIT units). */
+    double ser = 0;
+    /** @} */
+};
+
+/** One configured simulator instance; run() is single-shot. */
+class HmaSystem
+{
+  public:
+    explicit HmaSystem(const SystemConfig &config);
+
+    /**
+     * Simulate a workload under a placement.
+     *
+     * @param traces per-core memory-level traces
+     * @param placement initial page placement (moved in; mutated by
+     *                  the engine during the run)
+     * @param engine optional dynamic migration engine
+     */
+    SimResult run(const std::vector<CoreTrace> &traces,
+                  PlacementMap placement,
+                  MigrationEngine *engine = nullptr);
+
+    /** The configuration this system was built with. */
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    /**
+     * One line transfer of an in-flight page migration. Transfers
+     * are paced (SystemConfig::migLineSpacingCycles) and injected
+     * into the memories in time order alongside demand traffic, so
+     * migration consumes bandwidth without creating an unrealistic
+     * head-of-line burst at the interval boundary.
+     */
+    struct MigOp
+    {
+        Cycle when;
+        Addr devAddr;
+        MemoryId mem;
+        bool isWrite;
+    };
+
+    /** Per-page HBM residency bookkeeping for the SER integral. */
+    struct Residency
+    {
+        std::unordered_map<PageId, Cycle> enteredAt;
+        std::unordered_map<PageId, Cycle> accumulated;
+
+        void enter(PageId page, Cycle now);
+        void leave(PageId page, Cycle now);
+        double fraction(PageId page, Cycle makespan) const;
+    };
+
+    /**
+     * Apply a migration decision: move the pages in the map, update
+     * residency, and schedule each page's 64 line reads + 64 line
+     * writes as paced transfers starting at the boundary.
+     */
+    void applyDecision(PlacementMap &map,
+                       const MigrationDecision &decision, Cycle now,
+                       Residency &residency,
+                       std::deque<MigOp> &transfers);
+
+    /** Schedule one page copy as paced line transfers. */
+    void scheduleTransfer(Cycle &next_slot,
+                          const std::vector<Addr> &src_addrs,
+                          MemoryId src_mem,
+                          const std::vector<Addr> &dst_addrs,
+                          MemoryId dst_mem,
+                          std::deque<MigOp> &transfers);
+
+    SystemConfig config_;
+    DramMemory hbm_;
+    DramMemory ddr_;
+};
+
+} // namespace ramp
+
+#endif // RAMP_HMA_SYSTEM_HH

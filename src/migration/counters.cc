@@ -1,0 +1,176 @@
+#include "migration/counters.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ramp
+{
+
+double
+FullCounterTable::Counts::wrRatio() const
+{
+    return static_cast<double>(writes) /
+           static_cast<double>(std::max<std::uint32_t>(reads, 1));
+}
+
+FullCounterTable::FullCounterTable(std::uint32_t bits)
+{
+    if (bits == 0 || bits > 31)
+        ramp_fatal("counter width must be in [1, 31] bits");
+    maxCount_ = (1U << bits) - 1;
+}
+
+void
+FullCounterTable::onAccess(PageId page, bool is_write)
+{
+    auto &counts = counters_[page];
+    auto &field = is_write ? counts.writes : counts.reads;
+    if (field < maxCount_)
+        ++field; // saturating: no overflow (Section 6.3)
+}
+
+FullCounterTable::Counts
+FullCounterTable::countsOf(PageId page) const
+{
+    const auto it = counters_.find(page);
+    return it == counters_.end() ? Counts{} : it->second;
+}
+
+double
+FullCounterTable::meanHotness() const
+{
+    if (counters_.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &[page, counts] : counters_)
+        sum += counts.hotness();
+    return sum / static_cast<double>(counters_.size());
+}
+
+double
+FullCounterTable::meanWrRatio() const
+{
+    if (counters_.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &[page, counts] : counters_)
+        sum += counts.wrRatio();
+    return sum / static_cast<double>(counters_.size());
+}
+
+void
+FullCounterTable::reset()
+{
+    counters_.clear();
+}
+
+std::uint64_t
+FullCounterTable::storageBytes(std::uint64_t pages, std::uint32_t bits,
+                               bool split_read_write)
+{
+    const std::uint64_t per_page = split_read_write ? 2 * bits : bits;
+    return (pages * per_page + 7) / 8;
+}
+
+MeaTracker::MeaTracker(std::size_t entries)
+    : capacity_(entries)
+{
+    if (entries == 0)
+        ramp_fatal("MEA tracker needs at least one entry");
+}
+
+void
+MeaTracker::onAccess(PageId page)
+{
+    const auto it = map_.find(page);
+    if (it != map_.end()) {
+        ++it->second;
+        return;
+    }
+    if (map_.size() < capacity_) {
+        map_.emplace(page, 1);
+        return;
+    }
+    // Misra-Gries step: decrement everyone, drop zeros.
+    for (auto entry = map_.begin(); entry != map_.end();) {
+        if (--entry->second == 0)
+            entry = map_.erase(entry);
+        else
+            ++entry;
+    }
+}
+
+std::vector<PageId>
+MeaTracker::hotPages() const
+{
+    std::vector<std::pair<PageId, std::uint64_t>> entries(
+        map_.begin(), map_.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    std::vector<PageId> pages;
+    pages.reserve(entries.size());
+    for (const auto &[page, count] : entries)
+        pages.push_back(page);
+    return pages;
+}
+
+void
+MeaTracker::reset()
+{
+    map_.clear();
+}
+
+std::uint64_t
+MeaTracker::storageBytes(std::size_t entries)
+{
+    // Page number (6 B covers 48-bit addressing) + 2 B counter.
+    return entries * 8;
+}
+
+RemapCache::RemapCache(std::size_t entries, Cycle miss_penalty)
+    : capacity_(entries), missPenalty_(miss_penalty)
+{
+    if (entries == 0)
+        ramp_fatal("remap cache needs at least one entry");
+}
+
+Cycle
+RemapCache::lookup(PageId page)
+{
+    const auto it = index_.find(page);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+        return 0;
+    }
+    ++misses_;
+    if (lru_.size() >= capacity_) {
+        index_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(page);
+    index_[page] = lru_.begin();
+    return missPenalty_;
+}
+
+double
+RemapCache::hitRatio() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+std::uint64_t
+RemapCache::storageBytes(std::size_t entries)
+{
+    return entries * 8;
+}
+
+} // namespace ramp

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Dynamic migration engines (paper Section 6).
+ *
+ * Three schemes share one interface:
+ *  - PerfFocusedMigration: Meswani-style interval migration on raw
+ *    access counts with a dynamic mean-hotness threshold (6.1). This
+ *    is the state-of-the-art baseline the reliability-aware schemes
+ *    are normalised against.
+ *  - FcReliabilityMigration: Full Counters split into read/write
+ *    halves; HBM keeps pages that are hot AND low-risk (6.2).
+ *  - CrossCounterMigration: MEA performance unit promoting a few hot
+ *    pages every fine interval + a Full-Counter reliability unit
+ *    evicting risky/cold HBM pages every coarse interval (6.4).
+ */
+
+#ifndef RAMP_MIGRATION_ENGINE_HH
+#define RAMP_MIGRATION_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "migration/counters.hh"
+#include "placement/map.hh"
+
+namespace ramp
+{
+
+/** Page moves an engine requests at an interval boundary. */
+struct MigrationDecision
+{
+    /** (HBM victim, DDR fill) exchanges. */
+    std::vector<std::pair<PageId, PageId>> swaps;
+
+    /** Unpaired HBM -> DDR moves (risk mitigation). */
+    std::vector<PageId> evictions;
+
+    /** Unpaired DDR -> HBM moves into free frames. */
+    std::vector<PageId> promotions;
+
+    /** Total pages that cross the HMA. */
+    std::uint64_t pagesMoved() const
+    {
+        return 2 * swaps.size() + evictions.size() +
+               promotions.size();
+    }
+
+    bool empty() const
+    {
+        return swaps.empty() && evictions.empty() &&
+               promotions.empty();
+    }
+};
+
+/** Interface the HMA simulator drives. */
+class MigrationEngine
+{
+  public:
+    virtual ~MigrationEngine() = default;
+
+    /** Scheme name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Observe one demand access (before it is performed). */
+    virtual void onAccess(PageId page, bool is_write,
+                          MemoryId mem) = 0;
+
+    /** Finest interval at which onInterval must be called. */
+    virtual Cycle interval() const = 0;
+
+    /** Interval boundary: decide migrations for this boundary. */
+    virtual MigrationDecision
+    onInterval(Cycle now, const PlacementMap &map) = 0;
+
+    /** Extra per-access latency (remap-table lookups); default 0. */
+    virtual Cycle remapPenalty(PageId page);
+
+    /**
+     * Tracking-hardware storage in bytes for a system with the given
+     * page populations (Sections 6.3 / 6.4.2 use the paper's
+     * unscaled 4.25M total / 262K HBM pages).
+     */
+    virtual std::uint64_t
+    hardwareCostBytes(std::uint64_t total_pages,
+                      std::uint64_t hbm_pages) const = 0;
+};
+
+/** Performance-focused interval migration (Section 6.1). */
+class PerfFocusedMigration : public MigrationEngine
+{
+  public:
+    /**
+     * @param interval_cycles migration interval
+     * @param cap_pages page-move budget per interval (bandwidth
+     *                  guard; see SystemConfig::fcMigrationCapPages)
+     */
+    explicit PerfFocusedMigration(Cycle interval_cycles,
+                                  std::uint32_t cap_pages = 256);
+
+    const char *name() const override { return "perf-migration"; }
+    void onAccess(PageId page, bool is_write, MemoryId mem) override;
+    Cycle interval() const override { return interval_; }
+    MigrationDecision onInterval(Cycle now,
+                                 const PlacementMap &map) override;
+    std::uint64_t
+    hardwareCostBytes(std::uint64_t total_pages,
+                      std::uint64_t hbm_pages) const override;
+
+  private:
+    Cycle interval_;
+    std::uint32_t capPages_;
+    FullCounterTable counters_;
+};
+
+/** Reliability-aware Full-Counter migration (Section 6.2). */
+class FcReliabilityMigration : public MigrationEngine
+{
+  public:
+    /** See PerfFocusedMigration for the cap semantics. */
+    explicit FcReliabilityMigration(Cycle interval_cycles,
+                                    std::uint32_t cap_pages = 256);
+
+    const char *name() const override { return "fc-migration"; }
+    void onAccess(PageId page, bool is_write, MemoryId mem) override;
+    Cycle interval() const override { return interval_; }
+    MigrationDecision onInterval(Cycle now,
+                                 const PlacementMap &map) override;
+    std::uint64_t
+    hardwareCostBytes(std::uint64_t total_pages,
+                      std::uint64_t hbm_pages) const override;
+
+  private:
+    Cycle interval_;
+    std::uint32_t capPages_;
+    FullCounterTable counters_;
+};
+
+/** Cross-Counter migration: MEA + HBM risk counters (Section 6.4). */
+class CrossCounterMigration : public MigrationEngine
+{
+  public:
+    /**
+     * @param mea_interval_cycles fine performance-unit interval
+     * @param fc_per_mea coarse reliability interval, in MEA intervals
+     * @param mea_entries MEA map size (32 in MemPod)
+     * @param promo_cap_pages promotions per MEA interval
+     * @param fc_evict_cap_pages risk evictions per FC boundary
+     */
+    CrossCounterMigration(Cycle mea_interval_cycles,
+                          std::uint32_t fc_per_mea,
+                          std::size_t mea_entries = 32,
+                          std::uint32_t promo_cap_pages = 8,
+                          std::uint32_t fc_evict_cap_pages = 256);
+
+    const char *name() const override { return "cc-migration"; }
+    void onAccess(PageId page, bool is_write, MemoryId mem) override;
+    Cycle interval() const override { return meaInterval_; }
+    MigrationDecision onInterval(Cycle now,
+                                 const PlacementMap &map) override;
+    Cycle remapPenalty(PageId page) override;
+    std::uint64_t
+    hardwareCostBytes(std::uint64_t total_pages,
+                      std::uint64_t hbm_pages) const override;
+
+    /** Remap-cache statistics (for reports). */
+    const RemapCache &remapCache() const { return remap_; }
+
+  private:
+    Cycle meaInterval_;
+    std::uint32_t fcPerMea_;
+    std::uint32_t promoCapPages_;
+    std::uint32_t fcEvictCapPages_;
+    std::uint32_t meaTick_ = 0;
+    std::size_t rotationCursor_ = 0;
+    MeaTracker mea_;
+    FullCounterTable riskCounters_; ///< HBM-resident pages only
+    RemapCache remap_;
+    std::vector<PageId> pendingEvictions_; ///< high-risk HBM pages
+    std::unordered_set<PageId> promotedThisRound_;
+};
+
+} // namespace ramp
+
+#endif // RAMP_MIGRATION_ENGINE_HH

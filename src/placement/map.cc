@@ -1,0 +1,147 @@
+#include "placement/map.hh"
+
+#include "common/logging.hh"
+
+namespace ramp
+{
+
+PlacementMap::PlacementMap(std::uint64_t hbm_capacity_pages)
+    : hbmCapacity_(hbm_capacity_pages)
+{
+    if (hbm_capacity_pages == 0)
+        ramp_fatal("HBM capacity must be at least one page");
+}
+
+PlacementMap::Entry &
+PlacementMap::entryOf(PageId page)
+{
+    return entries_[page];
+}
+
+std::uint64_t
+PlacementMap::allocFrame(MemoryId mem)
+{
+    auto &free_list = mem == MemoryId::HBM ? freeHbmFrames_
+                                           : freeDdrFrames_;
+    if (!free_list.empty()) {
+        const std::uint64_t frame = free_list.back();
+        free_list.pop_back();
+        return frame;
+    }
+    auto &next = mem == MemoryId::HBM ? nextHbmFrame_ : nextDdrFrame_;
+    return next++;
+}
+
+void
+PlacementMap::freeFrame(MemoryId mem, std::uint64_t frame)
+{
+    auto &free_list = mem == MemoryId::HBM ? freeHbmFrames_
+                                           : freeDdrFrames_;
+    free_list.push_back(frame);
+}
+
+MemoryId
+PlacementMap::memoryOf(PageId page) const
+{
+    const auto it = entries_.find(page);
+    return it == entries_.end() ? MemoryId::DDR : it->second.mem;
+}
+
+Addr
+PlacementMap::deviceAddr(Addr addr)
+{
+    auto &entry = entryOf(pageOf(addr));
+    if (entry.frame == UINT64_MAX)
+        entry.frame = allocFrame(entry.mem);
+    return entry.frame * pageSize + addr % pageSize;
+}
+
+void
+PlacementMap::place(PageId page, MemoryId mem)
+{
+    auto &entry = entryOf(page);
+    if (entry.frame != UINT64_MAX)
+        ramp_fatal("page ", page, " placed after first access");
+    if (mem == MemoryId::HBM) {
+        if (hbmUsed_ >= hbmCapacity_)
+            ramp_fatal("initial placement exceeds HBM capacity");
+        ++hbmUsed_;
+    }
+    entry.mem = mem;
+}
+
+void
+PlacementMap::placePinned(PageId page, MemoryId mem)
+{
+    place(page, mem);
+    entryOf(page).pinned = true;
+}
+
+bool
+PlacementMap::isPinned(PageId page) const
+{
+    const auto it = entries_.find(page);
+    return it != entries_.end() && it->second.pinned;
+}
+
+bool
+PlacementMap::swap(PageId hbm_page, PageId ddr_page)
+{
+    auto &hot = entryOf(ddr_page);
+    auto &cold = entryOf(hbm_page);
+    if (cold.mem != MemoryId::HBM || hot.mem != MemoryId::DDR)
+        return false;
+    if (cold.pinned || hot.pinned)
+        return false;
+    std::swap(cold.mem, hot.mem);
+    std::swap(cold.frame, hot.frame);
+    migrations_ += 2; // two pages move across the HMA
+    return true;
+}
+
+bool
+PlacementMap::evictToDdr(PageId hbm_page)
+{
+    auto &entry = entryOf(hbm_page);
+    if (entry.mem != MemoryId::HBM || entry.pinned)
+        return false;
+    if (entry.frame != UINT64_MAX) {
+        freeFrame(MemoryId::HBM, entry.frame);
+        entry.frame = allocFrame(MemoryId::DDR);
+    }
+    entry.mem = MemoryId::DDR;
+    --hbmUsed_;
+    ++migrations_;
+    return true;
+}
+
+bool
+PlacementMap::promoteToHbm(PageId ddr_page)
+{
+    auto &entry = entryOf(ddr_page);
+    if (entry.mem != MemoryId::DDR || entry.pinned)
+        return false;
+    if (hbmUsed_ >= hbmCapacity_)
+        return false;
+    if (entry.frame != UINT64_MAX) {
+        freeFrame(MemoryId::DDR, entry.frame);
+        entry.frame = allocFrame(MemoryId::HBM);
+    }
+    entry.mem = MemoryId::HBM;
+    ++hbmUsed_;
+    ++migrations_;
+    return true;
+}
+
+std::vector<PageId>
+PlacementMap::hbmPages() const
+{
+    std::vector<PageId> pages;
+    pages.reserve(hbmUsed_);
+    for (const auto &[page, entry] : entries_)
+        if (entry.mem == MemoryId::HBM)
+            pages.push_back(page);
+    return pages;
+}
+
+} // namespace ramp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Page placement map: which memory holds each page.
+ *
+ * The map is the contract between placement policies, the migration
+ * engines, and the HMA simulator: it tracks page residency, assigns
+ * device-local frames (so the DRAM models see stable addresses),
+ * enforces HBM capacity, and honours pinned pages (the Section 7
+ * annotation mechanism marks pages as pinned so migration policies
+ * leave them alone).
+ */
+
+#ifndef RAMP_PLACEMENT_MAP_HH
+#define RAMP_PLACEMENT_MAP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ramp
+{
+
+/** Page-to-memory assignment with frame allocation. */
+class PlacementMap
+{
+  public:
+    /** Build an empty map with the given HBM capacity. */
+    explicit PlacementMap(std::uint64_t hbm_capacity_pages);
+
+    /** Memory currently holding a page (DDR when never placed). */
+    MemoryId memoryOf(PageId page) const;
+
+    /**
+     * Device-local byte address of an access, allocating the page's
+     * frame on first touch.
+     */
+    Addr deviceAddr(Addr addr);
+
+    /**
+     * Place a page in a memory (initial placement). Placing into a
+     * full HBM is a fatal configuration error.
+     */
+    void place(PageId page, MemoryId mem);
+
+    /** Place and pin (annotation): migrations must not move it. */
+    void placePinned(PageId page, MemoryId mem);
+
+    /** True when the page is pinned. */
+    bool isPinned(PageId page) const;
+
+    /**
+     * Exchange an HBM-resident page with a DDR-resident page (the
+     * migration primitive). Returns false — and does nothing — when
+     * either page is pinned or residency does not match.
+     */
+    bool swap(PageId hbm_page, PageId ddr_page);
+
+    /**
+     * Move an HBM page to DDR without a partner (eviction when no
+     * fill candidate exists). Returns false for pinned/mismatched.
+     */
+    bool evictToDdr(PageId hbm_page);
+
+    /**
+     * Move a DDR page into a free HBM frame. Returns false when the
+     * HBM is full or residency does not match.
+     */
+    bool promoteToHbm(PageId ddr_page);
+
+    /** Pages currently resident in HBM. */
+    std::vector<PageId> hbmPages() const;
+
+    /** @{ @name Capacity */
+    std::uint64_t hbmCapacityPages() const { return hbmCapacity_; }
+    std::uint64_t hbmUsedPages() const { return hbmUsed_; }
+    std::uint64_t hbmFreePages() const
+    {
+        return hbmCapacity_ - hbmUsed_;
+    }
+    /** @} */
+
+    /** Total pages moved across the HMA by swap/evict/promote. */
+    std::uint64_t migrations() const { return migrations_; }
+
+  private:
+    struct Entry
+    {
+        MemoryId mem = MemoryId::DDR;
+        std::uint64_t frame = UINT64_MAX;
+        bool pinned = false;
+    };
+
+    Entry &entryOf(PageId page);
+    std::uint64_t allocFrame(MemoryId mem);
+    void freeFrame(MemoryId mem, std::uint64_t frame);
+
+    std::uint64_t hbmCapacity_;
+    std::uint64_t hbmUsed_ = 0;
+    std::uint64_t migrations_ = 0;
+    std::unordered_map<PageId, Entry> entries_;
+    std::vector<std::uint64_t> freeHbmFrames_;
+    std::vector<std::uint64_t> freeDdrFrames_;
+    std::uint64_t nextHbmFrame_ = 0;
+    std::uint64_t nextDdrFrame_ = 0;
+};
+
+} // namespace ramp
+
+#endif // RAMP_PLACEMENT_MAP_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Static (profile-guided) page placement policies.
+ *
+ * Implements the paper's placement spectrum: performance-focused
+ * (Section 4.2), reliability-focused (5.1), balanced (5.2), the
+ * Wr / Wr^2 AVF heuristics (5.4), the Figure 1 hot-fraction sweep,
+ * and the DDR-only baseline.
+ */
+
+#ifndef RAMP_PLACEMENT_POLICIES_HH
+#define RAMP_PLACEMENT_POLICIES_HH
+
+#include "placement/map.hh"
+#include "placement/profile.hh"
+
+namespace ramp
+{
+
+/** The static placement policies evaluated in the paper. */
+enum class StaticPolicy
+{
+    /** Everything in DDR (the reliability/performance baseline). */
+    DdrOnly,
+
+    /** Top pages by raw access count fill the HBM. */
+    PerfFocused,
+
+    /** Lowest-AVF pages fill the HBM, hotness ignored. */
+    ReliabilityFocused,
+
+    /** Hot & low-risk quadrant pages only, by hotness. */
+    Balanced,
+
+    /** Top pages by Wr ratio (writes/reads). */
+    WrRatio,
+
+    /** Top pages by Wr^2 ratio (writes^2/reads). */
+    Wr2Ratio,
+};
+
+/** Human-readable policy name. */
+const char *policyName(StaticPolicy policy);
+
+/**
+ * Build the placement a policy chooses for a profiled workload.
+ *
+ * Pages not selected for HBM go to DDR. Policies restricted to a
+ * subset (Balanced) may leave HBM underfilled; the others fill it.
+ */
+PlacementMap buildStaticPlacement(StaticPolicy policy,
+                                  const PageProfile &profile,
+                                  std::uint64_t hbm_capacity_pages);
+
+/**
+ * Balanced placement topped up to capacity: hot & low-risk quadrant
+ * pages first (by hotness), then the hottest remaining pages. Used
+ * as the initial placement of the reliability-aware dynamic schemes
+ * ("top hot and low-risk pages", Section 6.2) so a small quadrant
+ * does not leave the HBM underfilled at the start of execution.
+ */
+PlacementMap buildBalancedFilledPlacement(
+    const PageProfile &profile, std::uint64_t hbm_capacity_pages);
+
+/**
+ * Figure 1 sweep point: place the hottest fraction * capacity pages
+ * in HBM (fraction in [0, 1]).
+ */
+PlacementMap buildHotFractionPlacement(const PageProfile &profile,
+                                       std::uint64_t hbm_capacity_pages,
+                                       double fraction);
+
+} // namespace ramp
+
+#endif // RAMP_PLACEMENT_POLICIES_HH

@@ -1,0 +1,75 @@
+#include "placement/profile.hh"
+
+namespace ramp
+{
+
+double
+PageStats::wrRatio() const
+{
+    return static_cast<double>(writes) /
+           static_cast<double>(std::max<std::uint64_t>(reads, 1));
+}
+
+double
+PageStats::wr2Ratio() const
+{
+    return static_cast<double>(writes) * static_cast<double>(writes) /
+           static_cast<double>(std::max<std::uint64_t>(reads, 1));
+}
+
+void
+PageProfile::recordAccess(PageId page, bool is_write)
+{
+    auto &stats = pages_[page];
+    if (is_write)
+        ++stats.writes;
+    else
+        ++stats.reads;
+}
+
+void
+PageProfile::setAvf(PageId page, double avf)
+{
+    pages_[page].avf = avf;
+}
+
+PageStats
+PageProfile::statsOf(PageId page) const
+{
+    const auto it = pages_.find(page);
+    return it == pages_.end() ? PageStats{} : it->second;
+}
+
+double
+PageProfile::meanHotness() const
+{
+    if (pages_.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &[page, stats] : pages_)
+        sum += static_cast<double>(stats.hotness());
+    return sum / static_cast<double>(pages_.size());
+}
+
+double
+PageProfile::meanAvf() const
+{
+    if (pages_.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &[page, stats] : pages_)
+        sum += stats.avf;
+    return sum / static_cast<double>(pages_.size());
+}
+
+std::vector<std::pair<PageId, PageStats>>
+PageProfile::entries() const
+{
+    std::vector<std::pair<PageId, PageStats>> result;
+    result.reserve(pages_.size());
+    for (const auto &entry : pages_)
+        result.push_back(entry);
+    return result;
+}
+
+} // namespace ramp

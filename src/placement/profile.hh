@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Page profiles: per-page hotness, write mix, and AVF.
+ *
+ * The static placement policies of Sections 4-5 are profile-guided:
+ * a DDR-only profiling pass collects per-page read/write counts and
+ * AVF, and the policies rank pages by hotness, AVF, or the Wr/Wr^2
+ * heuristic ratios derived here.
+ */
+
+#ifndef RAMP_PLACEMENT_PROFILE_HH
+#define RAMP_PLACEMENT_PROFILE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ramp
+{
+
+/** Profiled behaviour of one page. */
+struct PageStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double avf = 0.0;
+
+    /** Raw access count — the paper's hotness metric. */
+    std::uint64_t hotness() const { return reads + writes; }
+
+    /** Wr ratio (Section 5.4.1): writes per read. */
+    double wrRatio() const;
+
+    /**
+     * Wr^2 ratio (Section 5.4.2): the extra factor of writes biases
+     * the heuristic toward pages with high absolute write traffic.
+     */
+    double wr2Ratio() const;
+};
+
+/** Profile of a whole workload's footprint. */
+class PageProfile
+{
+  public:
+    /** Record one access during the profiling pass. */
+    void recordAccess(PageId page, bool is_write);
+
+    /** Attach the measured AVF of a page. */
+    void setAvf(PageId page, double avf);
+
+    /** Stats of one page (zeros when untouched). */
+    PageStats statsOf(PageId page) const;
+
+    /** The underlying page table. */
+    const std::unordered_map<PageId, PageStats> &pages() const
+    {
+        return pages_;
+    }
+
+    /** Number of touched pages. */
+    std::size_t footprintPages() const { return pages_.size(); }
+
+    /** @{ @name Population means (the Fig 4 quadrant thresholds). */
+    double meanHotness() const;
+    double meanAvf() const;
+    /** @} */
+
+    /**
+     * Pages sorted descending by a metric with deterministic PageId
+     * tie-breaking. Used by every static policy.
+     */
+    template <typename Metric>
+    std::vector<std::pair<PageId, PageStats>>
+    sortedByDescending(Metric metric) const;
+
+    /** The count of pages plus stats as a flat vector. */
+    std::vector<std::pair<PageId, PageStats>> entries() const;
+
+  private:
+    std::unordered_map<PageId, PageStats> pages_;
+};
+
+template <typename Metric>
+std::vector<std::pair<PageId, PageStats>>
+PageProfile::sortedByDescending(Metric metric) const
+{
+    auto result = entries();
+    std::sort(result.begin(), result.end(),
+              [&](const auto &a, const auto &b) {
+                  const auto ma = metric(a.second);
+                  const auto mb = metric(b.second);
+                  if (ma != mb)
+                      return ma > mb;
+                  return a.first < b.first;
+              });
+    return result;
+}
+
+} // namespace ramp
+
+#endif // RAMP_PLACEMENT_PROFILE_HH

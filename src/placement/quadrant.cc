@@ -1,0 +1,44 @@
+#include "placement/quadrant.hh"
+
+namespace ramp
+{
+
+std::uint64_t
+QuadrantCounts::total() const
+{
+    return hotHighRisk + hotLowRisk + coldHighRisk + coldLowRisk;
+}
+
+double
+QuadrantCounts::hotLowRiskFraction() const
+{
+    const std::uint64_t all = total();
+    if (all == 0)
+        return 0.0;
+    return static_cast<double>(hotLowRisk) /
+           static_cast<double>(all);
+}
+
+QuadrantCounts
+analyzeQuadrants(const PageProfile &profile)
+{
+    QuadrantCounts counts;
+    counts.hotnessThreshold = profile.meanHotness();
+    counts.avfThreshold = profile.meanAvf();
+    for (const auto &[page, stats] : profile.pages()) {
+        const bool hot = static_cast<double>(stats.hotness()) >
+                         counts.hotnessThreshold;
+        const bool high_risk = stats.avf > counts.avfThreshold;
+        if (hot && high_risk)
+            ++counts.hotHighRisk;
+        else if (hot)
+            ++counts.hotLowRisk;
+        else if (high_risk)
+            ++counts.coldHighRisk;
+        else
+            ++counts.coldLowRisk;
+    }
+    return counts;
+}
+
+} // namespace ramp

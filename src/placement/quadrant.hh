@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Hotness-risk quadrant analysis (paper Section 4.2, Figure 4).
+ *
+ * The footprint is split around mean hotness and mean AVF into four
+ * quadrants; the paper's key observation is that the hot & low-risk
+ * quadrant holds 9-39% of the footprint, making simultaneous
+ * performance and reliability optimisation possible.
+ */
+
+#ifndef RAMP_PLACEMENT_QUADRANT_HH
+#define RAMP_PLACEMENT_QUADRANT_HH
+
+#include <cstdint>
+
+#include "placement/profile.hh"
+
+namespace ramp
+{
+
+/** Page counts of the four hotness-risk quadrants. */
+struct QuadrantCounts
+{
+    std::uint64_t hotHighRisk = 0;
+    std::uint64_t hotLowRisk = 0;
+    std::uint64_t coldHighRisk = 0;
+    std::uint64_t coldLowRisk = 0;
+
+    /** Thresholds the split was computed with. */
+    double hotnessThreshold = 0;
+    double avfThreshold = 0;
+
+    /** Total pages classified. */
+    std::uint64_t total() const;
+
+    /** Fraction of the footprint that is hot & low-risk. */
+    double hotLowRiskFraction() const;
+};
+
+/** Classify every profiled page around the population means. */
+QuadrantCounts analyzeQuadrants(const PageProfile &profile);
+
+} // namespace ramp
+
+#endif // RAMP_PLACEMENT_QUADRANT_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Architectural Vulnerability Factor tracking (paper Section 4.1).
+ *
+ * AVF is tracked per 64 B cache line over the memory-level request
+ * stream: the interval preceding a read is ACE (a fault in it would
+ * have been consumed), the interval preceding a write is dead (a
+ * fault would have been overwritten — Figure 3b), and the tail after
+ * the last access is dead. A line's first access interval starts at
+ * time 0, modelling its initialisation at program load. Page AVF is
+ * the mean over the page's 64 lines (Equation 1); memory AVF is the
+ * mean over the touched footprint.
+ */
+
+#ifndef RAMP_RELIABILITY_AVF_HH
+#define RAMP_RELIABILITY_AVF_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ramp
+{
+
+/** Per-line ACE interval accumulator composed to page AVF. */
+class AvfTracker
+{
+  public:
+    /** Record one memory access at the given time. */
+    void onAccess(Addr addr, bool is_write, Cycle now);
+
+    /**
+     * Close the measurement window. Tail intervals are dead; the
+     * total time divides all ACE sums (Equation 1). Must be called
+     * once, after the last access.
+     */
+    void finalize(Cycle end_time);
+
+    /** AVF of one page in [0, 1] (0 for untouched pages). */
+    double pageAvf(PageId page) const;
+
+    /** Footprint-mean AVF over all touched pages. */
+    double memoryAvf() const;
+
+    /** All touched pages with their AVF. */
+    std::vector<std::pair<PageId, double>> pageAvfs() const;
+
+    /** Number of touched pages. */
+    std::size_t touchedPages() const { return pages_.size(); }
+
+    /** True once finalize() has been called. */
+    bool finalized() const { return totalTime_ > 0; }
+
+    /** Reset to an empty, unfinalised tracker. */
+    void reset();
+
+  private:
+    struct LineState
+    {
+        Cycle lastAccess = 0;
+        Cycle aceTime = 0;
+    };
+
+    struct PageState
+    {
+        LineState lines[linesPerPage];
+    };
+
+    std::unordered_map<PageId, PageState> pages_;
+    Cycle totalTime_ = 0;
+};
+
+} // namespace ramp
+
+#endif // RAMP_RELIABILITY_AVF_HH

@@ -1,0 +1,74 @@
+#include "reliability/fault.hh"
+
+namespace ramp
+{
+
+const char *
+faultModeName(FaultMode mode)
+{
+    switch (mode) {
+      case FaultMode::Bit: return "bit";
+      case FaultMode::Word: return "word";
+      case FaultMode::Column: return "column";
+      case FaultMode::Row: return "row";
+      case FaultMode::Bank: return "bank";
+      case FaultMode::Rank: return "rank";
+    }
+    return "?";
+}
+
+bool
+FaultRecord::multiBit(const ChipGeometry &geometry) const
+{
+    switch (mode) {
+      case FaultMode::Bit:
+      case FaultMode::Column:
+        // One bit position per codeword.
+        return false;
+      case FaultMode::Word:
+      case FaultMode::Row:
+      case FaultMode::Bank:
+      case FaultMode::Rank:
+        // The chip's whole contribution to each affected word.
+        return geometry.bitsPerWord > 1;
+    }
+    return false;
+}
+
+namespace
+{
+
+/** Coordinate match: equal, or at least one side wildcard. */
+bool
+coordIntersects(std::uint64_t a, std::uint64_t b)
+{
+    return a == faultWildcard || b == faultWildcard || a == b;
+}
+
+} // namespace
+
+bool
+sameWordPossible(const FaultRecord &a, const FaultRecord &b)
+{
+    return coordIntersects(a.bank, b.bank) &&
+           coordIntersects(a.row, b.row) &&
+           coordIntersects(a.column, b.column);
+}
+
+bool
+defeatsSingleBitCorrection(const FaultRecord &a, const FaultRecord &b,
+                           const ChipGeometry &geometry)
+{
+    if (!sameWordPossible(a, b))
+        return false;
+    // Either fault already flips several bits of the shared word.
+    if (a.multiBit(geometry) || b.multiBit(geometry))
+        return true;
+    // Two single-bit contributions: distinct bits unless they are
+    // the exact same bit position of the same chip.
+    if (a.chip != b.chip)
+        return true;
+    return !(coordIntersects(a.bit, b.bit));
+}
+
+} // namespace ramp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DRAM fault geometry: fault modes, records, and overlap tests.
+ *
+ * Follows the FaultSim design (Nair et al., TACO 2015): a fault is a
+ * region of one DRAM chip described by (bank, row, column, bit)
+ * coordinates where any coordinate may be a wildcard. Two faults can
+ * contribute errors to the same ECC codeword iff their coordinate
+ * regions intersect; the ECC schemes in ecc.hh classify the outcome.
+ */
+
+#ifndef RAMP_RELIABILITY_FAULT_HH
+#define RAMP_RELIABILITY_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ramp
+{
+
+/** Transient fault modes observed in the field study. */
+enum class FaultMode : std::uint8_t
+{
+    Bit = 0,    ///< one bit of one word
+    Word,       ///< the chip's whole contribution to one word
+    Column,     ///< one bit position across all rows of a bank
+    Row,        ///< the chip's contribution to every word of a row
+    Bank,       ///< an entire bank of the chip
+    Rank,       ///< the entire chip (rank-wide logic fault)
+};
+
+/** Number of fault modes. */
+constexpr int numFaultModes = 6;
+
+/** Human-readable fault-mode name. */
+const char *faultModeName(FaultMode mode);
+
+/** Wildcard coordinate ("all values"). */
+constexpr std::uint64_t faultWildcard = UINT64_MAX;
+
+/** Per-chip array geometry used to draw fault coordinates. */
+struct ChipGeometry
+{
+    std::uint32_t banks = 8;
+    std::uint64_t rows = 32768;
+    std::uint64_t columns = 1024; ///< words per row
+
+    /** Bits one chip contributes to each codeword (x4/x8/x128). */
+    std::uint32_t bitsPerWord = 8;
+};
+
+/** One injected fault region. */
+struct FaultRecord
+{
+    FaultMode mode = FaultMode::Bit;
+
+    /** Chip within the rank. */
+    std::uint32_t chip = 0;
+
+    /** @{ @name Region coordinates; faultWildcard = all. */
+    std::uint64_t bank = faultWildcard;
+    std::uint64_t row = faultWildcard;
+    std::uint64_t column = faultWildcard;
+    std::uint64_t bit = faultWildcard;
+    /** @} */
+
+    /** True when the fault affects > 1 bit of some codeword. */
+    bool multiBit(const ChipGeometry &geometry) const;
+};
+
+/**
+ * True when two faults can affect the same ECC codeword.
+ *
+ * Codewords are addressed by (bank, row, column); two regions
+ * intersect when every jointly-specified coordinate matches.
+ */
+bool sameWordPossible(const FaultRecord &a, const FaultRecord &b);
+
+/**
+ * True when two faults intersecting a codeword produce at least two
+ * distinct erroneous bits in it (the SEC-DED defeat condition).
+ */
+bool defeatsSingleBitCorrection(const FaultRecord &a,
+                                const FaultRecord &b,
+                                const ChipGeometry &geometry);
+
+} // namespace ramp
+
+#endif // RAMP_RELIABILITY_FAULT_HH

@@ -1,0 +1,165 @@
+#include "reliability/faultsim.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ramp
+{
+
+FaultSimConfig
+FaultSimConfig::ddrChipKill()
+{
+    FaultSimConfig config;
+    config.name = "DDR3-x4-ChipKill";
+    config.rates = FitRates::fieldStudyDdr();
+    config.geometry.banks = 8;
+    config.geometry.rows = 32768;
+    config.geometry.columns = 1024;
+    config.geometry.bitsPerWord = 4;
+    config.chips = 18; // 16 data + 2 ECC, x4
+    config.dataBytes = 8ULL << 30;
+    config.ecc = EccKind::ChipKill;
+    return config;
+}
+
+FaultSimConfig
+FaultSimConfig::hbmSecDed(double stacked_factor)
+{
+    FaultSimConfig config;
+    config.name = "HBM-SEC-DED";
+    config.rates = FitRates::stacked(stacked_factor);
+    config.geometry.banks = 8;
+    config.geometry.rows = 16384;
+    config.geometry.columns = 512;
+    // One die renders the whole 128-bit word (Section 2.2), so any
+    // coarse fault mode is a multi-bit pattern for SEC-DED.
+    config.geometry.bitsPerWord = 128;
+    config.chips = 1;
+    config.dataBytes = 128ULL << 20; // one HBM channel of Table 1
+    config.ecc = EccKind::SecDed;
+    return config;
+}
+
+FaultSim::FaultSim(const FaultSimConfig &config)
+    : config_(config)
+{
+    if (config.chips == 0)
+        ramp_fatal("FaultSim needs at least one chip");
+    if (config.hours <= 0)
+        ramp_fatal("FaultSim horizon must be positive");
+    if (config.fitBoost < 1.0)
+        ramp_fatal("fitBoost must be >= 1");
+}
+
+FaultRecord
+FaultSim::drawFault(Rng &rng) const
+{
+    // Pick the mode proportionally to its FIT share.
+    const double total = config_.rates.total();
+    double pick = rng.nextDouble() * total;
+    auto mode = FaultMode::Rank;
+    for (int m = 0; m < numFaultModes; ++m) {
+        const auto candidate = static_cast<FaultMode>(m);
+        pick -= config_.rates.of(candidate);
+        if (pick <= 0) {
+            mode = candidate;
+            break;
+        }
+    }
+
+    const auto &geometry = config_.geometry;
+    FaultRecord fault;
+    fault.mode = mode;
+    fault.chip = static_cast<std::uint32_t>(
+        rng.nextRange(config_.chips));
+    switch (mode) {
+      case FaultMode::Bit:
+        fault.bank = rng.nextRange(geometry.banks);
+        fault.row = rng.nextRange(geometry.rows);
+        fault.column = rng.nextRange(geometry.columns);
+        fault.bit = rng.nextRange(geometry.bitsPerWord);
+        break;
+      case FaultMode::Word:
+        fault.bank = rng.nextRange(geometry.banks);
+        fault.row = rng.nextRange(geometry.rows);
+        fault.column = rng.nextRange(geometry.columns);
+        break;
+      case FaultMode::Column:
+        fault.bank = rng.nextRange(geometry.banks);
+        fault.column = rng.nextRange(geometry.columns);
+        fault.bit = rng.nextRange(geometry.bitsPerWord);
+        break;
+      case FaultMode::Row:
+        fault.bank = rng.nextRange(geometry.banks);
+        fault.row = rng.nextRange(geometry.rows);
+        break;
+      case FaultMode::Bank:
+        fault.bank = rng.nextRange(geometry.banks);
+        break;
+      case FaultMode::Rank:
+        break;
+    }
+    return fault;
+}
+
+FaultSimResult
+FaultSim::run(std::uint64_t trials, std::uint64_t seed) const
+{
+    Rng rng(seed);
+    FaultSimResult result;
+    result.trials = trials;
+
+    const double mean_faults = config_.rates.total() *
+                               static_cast<double>(config_.chips) *
+                               config_.hours / 1e9 * config_.fitBoost;
+
+    std::uint64_t total_faults = 0;
+    std::vector<FaultRecord> faults;
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        const std::uint64_t count = rng.nextPoisson(mean_faults);
+        total_faults += count;
+        faults.clear();
+        for (std::uint64_t i = 0; i < count; ++i)
+            faults.push_back(drawFault(rng));
+
+        switch (classifyFaults(config_.ecc, faults,
+                               config_.geometry)) {
+          case EccOutcome::NoError:
+            ++result.noError;
+            break;
+          case EccOutcome::Corrected:
+            ++result.corrected;
+            break;
+          case EccOutcome::Uncorrected:
+            ++result.uncorrected;
+            break;
+        }
+    }
+
+    result.avgFaultsPerTrial =
+        trials == 0 ? 0
+                    : static_cast<double>(total_faults) /
+                          static_cast<double>(trials);
+
+    // De-boost: single-fault-dominated codes scale linearly in the
+    // injection rate, pair-dominated ones quadratically.
+    const double order = config_.ecc == EccKind::ChipKill ? 2.0 : 1.0;
+    const double boost_scale =
+        std::pow(config_.fitBoost, order);
+    const double p_boosted =
+        trials == 0 ? 0
+                    : static_cast<double>(result.uncorrected) /
+                          static_cast<double>(trials);
+    result.pUncorrected = p_boosted / boost_scale;
+    result.fitUncorrectedPerRank =
+        result.pUncorrected / config_.hours * 1e9;
+    result.fitUncorrectedPerGB =
+        result.fitUncorrectedPerRank /
+        (static_cast<double>(config_.dataBytes) /
+         static_cast<double>(1ULL << 30));
+    return result;
+}
+
+} // namespace ramp

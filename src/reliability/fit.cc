@@ -1,0 +1,43 @@
+#include "reliability/fit.hh"
+
+namespace ramp
+{
+
+double
+FitRates::total() const
+{
+    double sum = 0;
+    for (const double rate : perMode)
+        sum += rate;
+    return sum;
+}
+
+FitRates
+FitRates::scaled(double factor) const
+{
+    FitRates scaled = *this;
+    for (double &rate : scaled.perMode)
+        rate *= factor;
+    return scaled;
+}
+
+FitRates
+FitRates::fieldStudyDdr()
+{
+    FitRates rates;
+    rates.of(FaultMode::Bit) = 14.2;
+    rates.of(FaultMode::Word) = 1.4;
+    rates.of(FaultMode::Column) = 1.4;
+    rates.of(FaultMode::Row) = 0.2;
+    rates.of(FaultMode::Bank) = 0.8;
+    rates.of(FaultMode::Rank) = 0.3;
+    return rates;
+}
+
+FitRates
+FitRates::stacked(double factor)
+{
+    return fieldStudyDdr().scaled(factor);
+}
+
+} // namespace ramp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Transient FIT rates per DRAM device (paper Section 3.2).
+ *
+ * The baseline rates approximate the transient-fault column of the
+ * AMD/ORNL Jaguar field study (Sridharan & Liberty, SC'12) that the
+ * paper feeds into FaultSim. Die-stacked memory applies a scaling
+ * factor on top, modelling the higher bit density and the additional
+ * failure modes (e.g. TSVs) the paper cites (Section 2.2); the factor
+ * is a calibration input (see DESIGN.md).
+ */
+
+#ifndef RAMP_RELIABILITY_FIT_HH
+#define RAMP_RELIABILITY_FIT_HH
+
+#include <array>
+
+#include "reliability/fault.hh"
+
+namespace ramp
+{
+
+/** FIT (failures per 1e9 device-hours) per fault mode, per chip. */
+struct FitRates
+{
+    /** Indexed by FaultMode. */
+    std::array<double, numFaultModes> perMode{};
+
+    /** Rate for one mode. */
+    double of(FaultMode mode) const
+    {
+        return perMode[static_cast<std::size_t>(mode)];
+    }
+
+    /** Mutable rate for one mode. */
+    double &of(FaultMode mode)
+    {
+        return perMode[static_cast<std::size_t>(mode)];
+    }
+
+    /** Sum over all modes. */
+    double total() const;
+
+    /** All rates multiplied by a density/technology factor. */
+    FitRates scaled(double factor) const;
+
+    /**
+     * Field-study transient rates for a commodity DDR device
+     * (approximated from the Jaguar study, FIT per chip).
+     */
+    static FitRates fieldStudyDdr();
+
+    /**
+     * Die-stacked device rates: field-study rates scaled by the
+     * given density/TSV factor (default 3).
+     */
+    static FitRates stacked(double factor = 3.0);
+};
+
+} // namespace ramp
+
+#endif // RAMP_RELIABILITY_FIT_HH

@@ -1,0 +1,37 @@
+#include "reliability/ser.hh"
+
+namespace ramp
+{
+
+double
+SerParams::fitPerPage(MemoryId mem) const
+{
+    const double per_gb =
+        mem == MemoryId::HBM ? fitUncHbmPerGB : fitUncDdrPerGB;
+    return per_gb * static_cast<double>(pageSize) /
+           static_cast<double>(1ULL << 30);
+}
+
+double
+computeSer(const std::vector<std::pair<PageId, double>> &page_avfs,
+           const std::function<MemoryId(PageId)> &memory_of,
+           const SerParams &params)
+{
+    double ser = 0;
+    for (const auto &[page, avf] : page_avfs)
+        ser += params.fitPerPage(memory_of(page)) * avf;
+    return ser;
+}
+
+double
+computeDdrOnlySer(
+    const std::vector<std::pair<PageId, double>> &page_avfs,
+    const SerParams &params)
+{
+    double ser = 0;
+    for (const auto &[page, avf] : page_avfs)
+        ser += params.fitPerPage(MemoryId::DDR) * avf;
+    return ser;
+}
+
+} // namespace ramp

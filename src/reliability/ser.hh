@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Soft-error-rate model (Equation 2: SER = FIT x AVF).
+ *
+ * The SER of an HMA configuration sums, over every page, the page's
+ * AVF weighted by the uncorrected-error FIT of the memory currently
+ * holding it. FIT inputs come from FaultSim (per-GB uncorrected FIT
+ * of the SEC-DED stacked memory and the ChipKill DDR); all paper
+ * results are reported relative to a DDR-only baseline, which this
+ * module computes directly.
+ */
+
+#ifndef RAMP_RELIABILITY_SER_HH
+#define RAMP_RELIABILITY_SER_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ramp
+{
+
+/** Reliability of the two memories, as uncorrected FIT per GB. */
+struct SerParams
+{
+    /** Uncorrected-error FIT per GB of the stacked memory. */
+    double fitUncHbmPerGB = 127.0;
+
+    /** Uncorrected-error FIT per GB of the off-package DDR. */
+    double fitUncDdrPerGB = 0.15;
+
+    /** FIT of one 4 KB page resident in the given memory. */
+    double fitPerPage(MemoryId mem) const;
+
+    /** HBM-to-DDR uncorrected FIT ratio. */
+    double fitRatio() const { return fitUncHbmPerGB / fitUncDdrPerGB; }
+
+    /**
+     * Default parameters calibrated from this repo's FaultSim
+     * presets (see bench/faultsim_rates and EXPERIMENTS.md). Kept as
+     * constants so the placement benches do not re-run a Monte-Carlo
+     * campaign on every invocation.
+     */
+    static SerParams calibratedDefault() { return SerParams{}; }
+};
+
+/**
+ * Absolute SER of a placement (arbitrary units: FIT x AVF).
+ *
+ * @param page_avfs AVF of every touched page
+ * @param memory_of maps a page to the memory holding it
+ * @param params per-memory FIT rates
+ */
+double computeSer(
+    const std::vector<std::pair<PageId, double>> &page_avfs,
+    const std::function<MemoryId(PageId)> &memory_of,
+    const SerParams &params);
+
+/** SER of the same pages when everything lives in DDR. */
+double computeDdrOnlySer(
+    const std::vector<std::pair<PageId, double>> &page_avfs,
+    const SerParams &params);
+
+} // namespace ramp
+
+#endif // RAMP_RELIABILITY_SER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthetic trace generator (the PinPlay/SimPoints substitute).
+ *
+ * Produces deterministic per-core memory request streams from a
+ * WorkloadSpec. The default output is memory-level (post-L2) traffic,
+ * calibrated directly by the benchmark profiles; the CPU-level mode
+ * produces a denser pre-cache stream for the cache-filter pipeline
+ * (Moola substitute in src/cache).
+ */
+
+#ifndef RAMP_TRACE_GENERATOR_HH
+#define RAMP_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "trace/workload.hh"
+
+namespace ramp
+{
+
+/** Knobs of a generation run. */
+struct GeneratorOptions
+{
+    /** Master seed; identical options produce identical traces. */
+    std::uint64_t seed = 1;
+
+    /** Multiplies every profile's requestsPerCore (tests use < 1). */
+    double traceScale = 1.0;
+
+    /**
+     * Emit a CPU-level stream: every memory-level access is preceded
+     * by hitBurst cache-friendly re-accesses of nearby lines, so that
+     * a cache hierarchy filters the stream back down.
+     */
+    bool cpuLevel = false;
+
+    /** Cache-hit accesses injected per request in CPU-level mode. */
+    std::uint32_t hitBurst = 3;
+};
+
+/**
+ * Generate the per-core traces of a workload.
+ *
+ * @param spec workload (validated against the profile registry)
+ * @param layout address layout from buildLayout(spec)
+ * @param options generation knobs
+ * @return one program-ordered trace per core
+ */
+std::vector<CoreTrace> generateTraces(const WorkloadSpec &spec,
+                                      const WorkloadLayout &layout,
+                                      const GeneratorOptions &options);
+
+/** Convenience overload that builds the layout internally. */
+std::vector<CoreTrace> generateTraces(const WorkloadSpec &spec,
+                                      const GeneratorOptions &options);
+
+} // namespace ramp
+
+#endif // RAMP_TRACE_GENERATOR_HH

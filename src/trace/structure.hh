@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Program data-structure specifications for synthetic workloads.
+ *
+ * RAMP substitutes the paper's PinPlay/SimPoints SPEC traces with
+ * synthetic workloads composed of named data structures. A structure
+ * is an address range (whole pages) with a characteristic access
+ * pattern; the mix of structures in a benchmark profile determines the
+ * distributional properties the paper's study depends on: hotness
+ * skew, read/write mix, and — through the temporal ordering of reads
+ * and writes — per-page AVF. Structures are also the annotation
+ * granularity of the Section 7 study.
+ */
+
+#ifndef RAMP_TRACE_STRUCTURE_HH
+#define RAMP_TRACE_STRUCTURE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ramp
+{
+
+/** How accesses are distributed over a structure's pages. */
+enum class AccessPattern : std::uint8_t
+{
+    /**
+     * Zipf-distributed page choice with Bernoulli read/write mix.
+     * alpha = 0 degenerates to uniform. Models hashed/indexed
+     * structures (graphs, tables, heaps). The churn parameter slowly
+     * rotates which pages hold the hot ranks, creating the
+     * interval-to-interval hot-set drift the migration study needs.
+     */
+    Zipf,
+
+    /**
+     * Sequential passes over the structure: one write pass followed
+     * by readPasses read passes, repeated. Models streaming/stencil
+     * kernels (lbm, libquantum, cactusADM grid functions). Line AVF
+     * follows from the write->read pass distance; hotness is uniform.
+     */
+    Streaming,
+};
+
+/** Static description of one program data structure. */
+struct StructureSpec
+{
+    /** Source-level name (annotation target, e.g. "srcGrid"). */
+    std::string name;
+
+    /** Footprint in 4 KB pages (per program instance). */
+    std::uint64_t pages = 1;
+
+    /** Relative share of the program's memory accesses. */
+    double weight = 1.0;
+
+    /** Page-selection / ordering behaviour. */
+    AccessPattern pattern = AccessPattern::Zipf;
+
+    /** @{ @name Zipf-pattern parameters */
+    /** Skew of the page popularity distribution (0 = uniform). */
+    double zipfAlpha = 0.8;
+
+    /** Probability that an access is a write. */
+    double writeFraction = 0.3;
+
+    /**
+     * Per-access probability of advancing the hot-set rotation by one
+     * page. 0 freezes the hot set for the whole run.
+     */
+    double churn = 0.0;
+    /** @} */
+
+    /** @{ @name Streaming-pattern parameters */
+    /** Read passes following each write pass (>= 1). */
+    std::uint32_t readPasses = 1;
+
+    /** Lines advanced per access (stride; > 1 skips lines). */
+    std::uint64_t strideLines = 1;
+
+    /**
+     * Probability that a line position is actually read during a read
+     * pass (unread positions are skipped). This models consumers that
+     * only revisit part of what a producer pass wrote and is the main
+     * AVF dial of streaming structures: unread write->write periods
+     * are dead.
+     */
+    double readProbability = 1.0;
+    /** @} */
+};
+
+} // namespace ramp
+
+#endif // RAMP_TRACE_STRUCTURE_HH

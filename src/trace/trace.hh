@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace containers, summary statistics, and binary trace I/O.
+ */
+
+#ifndef RAMP_TRACE_TRACE_HH
+#define RAMP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/request.hh"
+
+namespace ramp
+{
+
+/** Sequence of requests issued by a single core, in program order. */
+using CoreTrace = std::vector<MemRequest>;
+
+/** Aggregate statistics of a core trace or workload trace. */
+struct TraceStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t footprintPages = 0;
+
+    /** Memory accesses per kilo-instruction. */
+    double mpki() const;
+
+    /** Fraction of requests that are writes. */
+    double writeFraction() const;
+};
+
+/** Compute summary statistics over one core trace. */
+TraceStats computeStats(const CoreTrace &trace);
+
+/** Compute merged statistics over a set of core traces. */
+TraceStats computeStats(const std::vector<CoreTrace> &traces);
+
+/** Set of distinct pages touched by a group of traces. */
+std::unordered_set<PageId>
+touchedPages(const std::vector<CoreTrace> &traces);
+
+/**
+ * @{
+ * @name Binary trace serialisation
+ *
+ * Simple length-prefixed little-endian format so generated traces can
+ * be cached on disk and shared across harness runs. The format stores
+ * a magic/version header followed by packed records.
+ */
+void writeTrace(std::ostream &os, const CoreTrace &trace);
+CoreTrace readTrace(std::istream &is);
+
+void writeWorkloadTrace(const std::string &path,
+                        const std::vector<CoreTrace> &traces);
+std::vector<CoreTrace> readWorkloadTrace(const std::string &path);
+/** @} */
+
+} // namespace ramp
+
+#endif // RAMP_TRACE_TRACE_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Benchmark profiles, workload specs (Table 2 mixes), address layout.
+ *
+ * A BenchmarkProfile is the synthetic stand-in for one SPEC CPU2006 /
+ * DoE proxy-app program: a set of data structures plus a post-cache
+ * memory intensity (MPKI). A WorkloadSpec assigns one program to each
+ * of the 16 cores — either 16 copies of one program (the paper's
+ * homogeneous workloads) or a Table 2 mix. buildLayout() assigns the
+ * pages of every core's structures to disjoint physical ranges, which
+ * is also the ground truth consumed by the annotation study.
+ */
+
+#ifndef RAMP_TRACE_WORKLOAD_HH
+#define RAMP_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/structure.hh"
+
+namespace ramp
+{
+
+/** Synthetic model of one benchmark program. */
+struct BenchmarkProfile
+{
+    /** Program name (e.g. "mcf"). */
+    std::string name;
+
+    /** Post-cache memory accesses per kilo-instruction. */
+    double mpki = 10.0;
+
+    /** Memory requests each core running this program issues. */
+    std::uint64_t requestsPerCore = 60000;
+
+    /** The program's data structures. */
+    std::vector<StructureSpec> structures;
+
+    /** Total footprint of one instance, in pages. */
+    std::uint64_t footprintPages() const;
+};
+
+/** Number of cores in the simulated system (Table 1). */
+constexpr int workloadCores = 16;
+
+/** A 16-core workload: one program per core. */
+struct WorkloadSpec
+{
+    /** Workload name ("mcf", "mix1", ...). */
+    std::string name;
+
+    /** Program run on each core, by benchmark name. */
+    std::vector<std::string> coreBenchmarks;
+};
+
+/**
+ * Look up a benchmark profile by name.
+ *
+ * Registry covers the paper's seven homogeneous SPEC programs, the
+ * two DoE proxy apps (XSBench, LULESH), and the additional SPEC
+ * programs that appear only inside the Table 2 mixes.
+ */
+const BenchmarkProfile &benchmarkProfile(const std::string &name);
+
+/** Names of all registered benchmark programs. */
+std::vector<std::string> allBenchmarkNames();
+
+/** 16 copies of one program (the paper's homogeneous workloads). */
+WorkloadSpec homogeneousWorkload(const std::string &benchmark);
+
+/** One of the five Table 2 datacenter mixes ("mix1".."mix5"). */
+WorkloadSpec mixWorkload(const std::string &name);
+
+/**
+ * The paper's full workload set, in Figure 2 order: nine homogeneous
+ * workloads plus mix1..mix5.
+ */
+std::vector<WorkloadSpec> standardWorkloads();
+
+/** Reduced set for quick studies (Fig 1 uses astar/cactusADM/mix1). */
+std::vector<WorkloadSpec> motivationWorkloads();
+
+/** Physical placement of one structure instance. */
+struct StructureRange
+{
+    /** Core whose program instance owns the range. */
+    CoreId core = 0;
+
+    /** Program the instance belongs to. */
+    std::string benchmark;
+
+    /** Structure name within the program. */
+    std::string structure;
+
+    /** Index of the structure within its profile. */
+    std::uint32_t structureIndex = 0;
+
+    /** First page of the range. */
+    PageId firstPage = 0;
+
+    /** Length in pages. */
+    std::uint64_t pages = 0;
+
+    /** One past the last page of the range. */
+    PageId endPage() const { return firstPage + pages; }
+};
+
+/** Complete address-space layout of a workload. */
+struct WorkloadLayout
+{
+    /** All structure instances, in layout order. */
+    std::vector<StructureRange> ranges;
+
+    /** Total pages spanned by the workload. */
+    std::uint64_t totalPages = 0;
+
+    /**
+     * Index of the range containing a page, or -1 if unmapped.
+     * O(log n) lookup over the sorted ranges.
+     */
+    int rangeOf(PageId page) const;
+};
+
+/** Lay out every core's structures over disjoint page ranges. */
+WorkloadLayout buildLayout(const WorkloadSpec &spec);
+
+} // namespace ramp
+
+#endif // RAMP_TRACE_WORKLOAD_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the program-annotation machinery (src/annotation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "annotation/annotation.hh"
+#include "hma/experiment.hh"
+
+namespace ramp
+{
+namespace
+{
+
+/** Layout + profile fixture built from a real small workload. */
+class AnnotationFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        GeneratorOptions options;
+        options.traceScale = 0.02;
+        data_ = prepareWorkload(homogeneousWorkload("mcf"), options);
+        for (const auto &trace : data_.traces)
+            for (const auto &req : trace)
+                profile_.recordAccess(pageOf(req.addr), req.isWrite);
+        // Synthetic AVF: write-heavy pages get low risk.
+        for (const auto &[page, stats] : profile_.pages())
+            profile_.setAvf(page, 1.0 / (1.0 + stats.wrRatio()));
+    }
+
+    WorkloadData data_;
+    PageProfile profile_;
+};
+
+TEST_F(AnnotationFixture, ProfileAggregatesPerProgramStructure)
+{
+    const auto structures = profileStructures(data_.layout, profile_);
+    // mcf has 4 structures; homogeneous copies aggregate to 4
+    // program-level entries.
+    EXPECT_EQ(structures.size(), 4u);
+    for (const auto &entry : structures) {
+        EXPECT_EQ(entry.benchmark, "mcf");
+        EXPECT_GT(entry.pages, 0u);
+        // 16 instances aggregated: pages = 16x the spec size.
+        const auto &profile = benchmarkProfile("mcf");
+        bool found = false;
+        for (const auto &spec : profile.structures) {
+            if (spec.name == entry.structure) {
+                EXPECT_EQ(entry.pages, 16 * spec.pages);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << entry.structure;
+    }
+}
+
+TEST_F(AnnotationFixture, SelectionStopsAtCapacity)
+{
+    const auto structures = profileStructures(data_.layout, profile_);
+    const auto selection =
+        selectAnnotations(structures, 2000, profile_.meanAvf());
+    EXPECT_GT(selection.count(), 0u);
+    EXPECT_LE(selection.pinnedPages, 2000u);
+}
+
+TEST_F(AnnotationFixture, LargerCapacityNeverFewerAnnotations)
+{
+    const auto structures = profileStructures(data_.layout, profile_);
+    const auto small =
+        selectAnnotations(structures, 1000, profile_.meanAvf());
+    const auto large =
+        selectAnnotations(structures, 8000, profile_.meanAvf());
+    EXPECT_GE(large.count(), small.count());
+    EXPECT_GE(large.pinnedPages, small.pinnedPages);
+}
+
+TEST_F(AnnotationFixture, SelectionPrefersHighDensityLowRisk)
+{
+    const auto structures = profileStructures(data_.layout, profile_);
+    const auto selection =
+        selectAnnotations(structures, 100000, profile_.meanAvf());
+    for (std::size_t i = 1; i < selection.annotations.size(); ++i) {
+        EXPECT_GE(
+            selection.annotations[i - 1].hotnessPerPage() + 1e-9,
+            selection.annotations[i].hotnessPerPage());
+    }
+    for (const auto &annotation : selection.annotations)
+        EXPECT_LE(annotation.avgAvf, profile_.meanAvf());
+}
+
+TEST_F(AnnotationFixture, PlacementPinsUpToCapacity)
+{
+    const auto structures = profileStructures(data_.layout, profile_);
+    const auto selection =
+        selectAnnotations(structures, 500, profile_.meanAvf());
+    auto map =
+        buildAnnotatedPlacement(data_.layout, selection, 500);
+    EXPECT_EQ(map.hbmUsedPages(),
+              std::min<std::uint64_t>(selection.pinnedPages, 500));
+    for (const PageId page : map.hbmPages())
+        EXPECT_TRUE(map.isPinned(page));
+}
+
+TEST_F(AnnotationFixture, PinnedPagesBelongToSelectedStructures)
+{
+    const auto structures = profileStructures(data_.layout, profile_);
+    const auto selection =
+        selectAnnotations(structures, 800, profile_.meanAvf());
+    auto map =
+        buildAnnotatedPlacement(data_.layout, selection, 800);
+    for (const PageId page : map.hbmPages()) {
+        const int idx = data_.layout.rangeOf(page);
+        ASSERT_GE(idx, 0);
+        const auto &range =
+            data_.layout.ranges[static_cast<std::size_t>(idx)];
+        bool selected = false;
+        for (const auto &annotation : selection.annotations)
+            selected = selected ||
+                       annotation.structure == range.structure;
+        EXPECT_TRUE(selected) << range.structure;
+    }
+}
+
+TEST(AnnotationCounts, CactusNeedsMoreAnnotationsThanMcf)
+{
+    // cactusADM spreads its hot low-risk footprint over dozens of
+    // small grid functions (Figure 17's outlier).
+    GeneratorOptions options;
+    options.traceScale = 0.05;
+    const SystemConfig config = SystemConfig::scaledDefault();
+
+    auto count_for = [&](const std::string &name) {
+        const auto data =
+            prepareWorkload(homogeneousWorkload(name), options);
+        const auto base = runDdrOnly(config, data);
+        return annotationsFor(data, base.profile,
+                              config.hbmPages())
+            .count();
+    };
+    EXPECT_GT(count_for("cactusADM"), count_for("mcf"));
+}
+
+TEST(StructureProfile, HotnessDensity)
+{
+    StructureProfile profile;
+    profile.pages = 10;
+    profile.reads = 70;
+    profile.writes = 30;
+    EXPECT_DOUBLE_EQ(profile.hotnessPerPage(), 10.0);
+    StructureProfile empty;
+    EXPECT_EQ(empty.hotnessPerPage(), 0.0);
+}
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the set-associative cache model (src/cache/cache).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+
+namespace ramp
+{
+namespace
+{
+
+CacheConfig
+tinyCache(std::uint64_t size = 512, std::uint32_t ways = 2)
+{
+    return {size, ways, 64};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache cache(tinyCache());
+    const auto miss = cache.access(0x1000, false);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_FALSE(miss.writeback);
+    const auto hit = cache.access(0x1000, false);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentBytesHit)
+{
+    SetAssocCache cache(tinyCache());
+    cache.access(0x1000, false);
+    EXPECT_TRUE(cache.access(0x103F, false).hit);
+    EXPECT_FALSE(cache.access(0x1040, false).hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 512 B, 2-way, 64 B lines -> 4 sets. Lines mapping to set 0:
+    // addresses 0, 256, 512, ...
+    SetAssocCache cache(tinyCache());
+    cache.access(0, false);
+    cache.access(256, false);
+    cache.access(0, false);   // 0 becomes MRU
+    cache.access(512, false); // evicts 256 (LRU)
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(256));
+    EXPECT_TRUE(cache.contains(512));
+}
+
+TEST(Cache, DirtyVictimReportsWritebackAddress)
+{
+    SetAssocCache cache(tinyCache());
+    cache.access(0, true);      // dirty
+    cache.access(256, false);
+    const auto result = cache.access(512, false); // evicts 0
+    EXPECT_TRUE(result.writeback);
+    EXPECT_EQ(result.writebackAddr, 0u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanVictimHasNoWriteback)
+{
+    SetAssocCache cache(tinyCache());
+    cache.access(0, false);
+    cache.access(256, false);
+    const auto result = cache.access(512, false);
+    EXPECT_FALSE(result.writeback);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    SetAssocCache cache(tinyCache());
+    cache.access(0, false);
+    cache.access(0, true); // now dirty via hit
+    cache.access(256, false);
+    const auto result = cache.access(512, false);
+    EXPECT_TRUE(result.writeback);
+}
+
+TEST(Cache, FlushReturnsDirtyLines)
+{
+    SetAssocCache cache(tinyCache());
+    cache.access(0, true);
+    cache.access(64, false);
+    cache.access(128, true);
+    const auto dirty = cache.flush();
+    EXPECT_EQ(dirty.size(), 2u);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(64));
+}
+
+TEST(Cache, MissRatioComputation)
+{
+    SetAssocCache cache(tinyCache());
+    cache.access(0, false);
+    cache.access(0, false);
+    cache.access(0, false);
+    cache.access(64, false);
+    EXPECT_NEAR(cache.stats().missRatio(), 0.5, 1e-12);
+}
+
+TEST(Cache, NumSetsFromGeometry)
+{
+    EXPECT_EQ(CacheConfig({16 * 1024, 4, 64}).numSets(), 64u);
+    EXPECT_EQ(CacheConfig({512 * 1024, 16, 64}).numSets(), 512u);
+}
+
+TEST(CacheDeathTest, InvalidGeometryIsFatal)
+{
+    EXPECT_EXIT(SetAssocCache(CacheConfig{0, 2, 64}),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(SetAssocCache(CacheConfig{100, 2, 64}),
+                ::testing::ExitedWithCode(1), "multiple");
+}
+
+/** Property: larger caches never miss more on the same stream. */
+class CacheSizeTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheSizeTest, BiggerCacheFewerMisses)
+{
+    const std::uint64_t size = GetParam();
+    SetAssocCache small(tinyCache(size, 4));
+    SetAssocCache big(tinyCache(size * 4, 4));
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = rng.nextRange(64 * 1024);
+        small.access(addr, rng.nextBool(0.3));
+        big.access(addr, rng.nextBool(0.3));
+    }
+    EXPECT_LE(big.stats().misses, small.stats().misses);
+    EXPECT_EQ(small.stats().hits + small.stats().misses,
+              small.stats().accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSizeTest,
+                         ::testing::Values(1024, 4096, 16384));
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for address arithmetic, logging formatting, and the table
+ * printer (src/common).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace ramp
+{
+namespace
+{
+
+TEST(Types, PageAndLineArithmetic)
+{
+    EXPECT_EQ(pageOf(0), 0u);
+    EXPECT_EQ(pageOf(4095), 0u);
+    EXPECT_EQ(pageOf(4096), 1u);
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);
+    EXPECT_EQ(lineOf(64), 1u);
+    EXPECT_EQ(lineInPage(0), 0u);
+    EXPECT_EQ(lineInPage(64), 1u);
+    EXPECT_EQ(lineInPage(4095), 63u);
+    EXPECT_EQ(lineInPage(4096), 0u);
+    EXPECT_EQ(pageBase(3), 3 * 4096u);
+    EXPECT_EQ(lineBase(3), 3 * 64u);
+    EXPECT_EQ(linesPerPage, 64u);
+    EXPECT_EQ(pageBits, 4096u * 8);
+}
+
+TEST(Types, RoundTripAddressDecomposition)
+{
+    for (const Addr addr : {0ULL, 100ULL, 4096ULL, 123456789ULL}) {
+        const Addr rebuilt = pageBase(pageOf(addr)) +
+                             lineInPage(addr) * lineSize +
+                             addr % lineSize;
+        EXPECT_EQ(rebuilt, addr);
+    }
+}
+
+TEST(Types, MemoryNames)
+{
+    EXPECT_STREQ(memoryName(MemoryId::HBM), "HBM");
+    EXPECT_STREQ(memoryName(MemoryId::DDR), "DDR");
+}
+
+TEST(Logging, FormatMessageConcatenates)
+{
+    EXPECT_EQ(formatMessage("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(formatMessage(), "");
+}
+
+TEST(TextTable, FormatsAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "22"});
+    std::ostringstream os;
+    table.print(os, "title");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== title =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(TextTable::ratio(1.5), "1.50x");
+    EXPECT_EQ(TextTable::percent(0.123), "12.3%");
+    EXPECT_EQ(TextTable::percent(0.5, 0), "50%");
+}
+
+TEST(TextTableDeathTest, RowArityMismatchPanics)
+{
+    TextTable table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the system configuration (src/hma/config) and its
+ * Table 1 correspondence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hma/config.hh"
+
+namespace ramp
+{
+namespace
+{
+
+TEST(SystemConfig, ScaledDefaultMatchesTable1Shape)
+{
+    const auto config = SystemConfig::scaledDefault();
+    EXPECT_EQ(config.cores, 16);
+    EXPECT_EQ(config.issueWidth, 4u);
+    EXPECT_EQ(config.robSize, 128u);
+    EXPECT_EQ(config.hbm.id, MemoryId::HBM);
+    EXPECT_EQ(config.ddr.id, MemoryId::DDR);
+    // Capacity ratio preserved: DDR = 16x HBM (Table 1: 16 GB/1 GB).
+    EXPECT_EQ(config.ddr.capacityBytes,
+              16 * config.hbm.capacityBytes);
+}
+
+TEST(SystemConfig, HbmPageCount)
+{
+    const auto config = SystemConfig::scaledDefault();
+    EXPECT_EQ(config.hbmPages(),
+              config.hbm.capacityBytes / pageSize);
+    EXPECT_EQ(config.hbmPages(), 8192u);
+}
+
+TEST(SystemConfig, FcPerMeaDivides)
+{
+    SystemConfig config;
+    config.fcIntervalCycles = 3'200'000;
+    config.meaIntervalCycles = 100'000;
+    EXPECT_EQ(config.fcPerMea(), 32u);
+}
+
+TEST(SystemConfig, IntervalRatioIsPaperLike)
+{
+    // The paper uses 100 ms FC and 50 us MEA intervals; the scaled
+    // defaults must keep FC much coarser than MEA.
+    const auto config = SystemConfig::scaledDefault();
+    EXPECT_GE(config.fcPerMea(), 8u);
+    EXPECT_GT(config.fcIntervalCycles, config.meaIntervalCycles);
+}
+
+TEST(SystemConfig, SerDefaultsFavourDdr)
+{
+    const auto config = SystemConfig::scaledDefault();
+    EXPECT_GT(config.ser.fitUncHbmPerGB, config.ser.fitUncDdrPerGB);
+    EXPECT_GT(config.ser.fitRatio(), 100.0);
+}
+
+TEST(SystemConfig, MigrationPacingIsBandwidthFraction)
+{
+    const auto config = SystemConfig::scaledDefault();
+    // One line per spacing must be well under the DDR peak
+    // (otherwise migrations starve demand).
+    const double mig_bw =
+        static_cast<double>(lineSize) /
+        static_cast<double>(config.migLineSpacingCycles);
+    EXPECT_LT(mig_bw, config.ddr.peakBandwidth());
+}
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the trace-driven core timing model (src/hma/core_model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hma/core_model.hh"
+
+namespace ramp
+{
+namespace
+{
+
+CoreTrace
+makeTrace(std::initializer_list<MemRequest> reqs)
+{
+    return CoreTrace(reqs);
+}
+
+TEST(CoreModel, ComputeBoundIssueRate)
+{
+    // 400 non-memory instructions at width 4 -> ready at cycle 100.
+    const auto trace = makeTrace({{0x0, 400, 0, false}});
+    CoreModel core(trace, 4, 128, 8);
+    EXPECT_FALSE(core.done());
+    EXPECT_EQ(core.nextIssueTime(), 100u);
+}
+
+TEST(CoreModel, GapAccumulatesAcrossRequests)
+{
+    const auto trace =
+        makeTrace({{0x0, 40, 0, true}, {0x40, 40, 0, true}});
+    CoreModel core(trace, 4, 128, 8);
+    EXPECT_EQ(core.nextIssueTime(), 10u);
+    core.retire(0); // posted write, returns immediately
+    EXPECT_EQ(core.nextIssueTime(), 20u);
+}
+
+TEST(CoreModel, MshrLimitStallsIssue)
+{
+    // Two reads back-to-back with max one outstanding: the second
+    // must wait for the first read's completion.
+    const auto trace =
+        makeTrace({{0x0, 0, 0, false}, {0x40, 0, 0, false}});
+    CoreModel core(trace, 4, 128, 1);
+    EXPECT_EQ(core.nextIssueTime(), 0u);
+    core.retire(500); // first read completes at 500
+    EXPECT_EQ(core.nextIssueTime(), 500u);
+}
+
+TEST(CoreModel, RobWindowBoundsRunAhead)
+{
+    // A long-latency read followed by more instructions than the ROB
+    // holds: issue stalls until the read returns.
+    CoreTrace trace;
+    trace.push_back({0x0, 0, 0, false});    // read at ~0
+    trace.push_back({0x40, 200, 0, false}); // 201 instrs later
+    CoreModel core(trace, 4, /*rob=*/128, 8);
+    core.retire(10000);
+    // Compute-ready would be ~50 cycles, but the ROB (128) fills
+    // before instruction 201, forcing a wait for the read.
+    EXPECT_EQ(core.nextIssueTime(), 10000u);
+}
+
+TEST(CoreModel, RobDoesNotStallWithinWindow)
+{
+    CoreTrace trace;
+    trace.push_back({0x0, 0, 0, false});
+    trace.push_back({0x40, 50, 0, false}); // within the 128 window
+    CoreModel core(trace, 4, 128, 8);
+    core.retire(10000);
+    EXPECT_LT(core.nextIssueTime(), 100u);
+}
+
+TEST(CoreModel, PostedWritesDoNotBlock)
+{
+    CoreTrace trace;
+    for (int i = 0; i < 20; ++i)
+        trace.push_back({static_cast<Addr>(i) * 64, 0, 0, true});
+    CoreModel core(trace, 4, 128, 1);
+    Cycle last_ready = 0;
+    while (!core.done()) {
+        last_ready = core.nextIssueTime();
+        core.retire(last_ready);
+    }
+    EXPECT_LT(last_ready, 20u);
+}
+
+TEST(CoreModel, CountsInstructionsAndFinishTime)
+{
+    const auto trace =
+        makeTrace({{0x0, 9, 0, false}, {0x40, 9, 0, true}});
+    CoreModel core(trace, 4, 128, 8);
+    core.retire(100);
+    core.retire(0);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.instructions(), 20u);
+    EXPECT_GE(core.finishTime(), 100u);
+}
+
+TEST(CoreModel, EmptyTraceIsDone)
+{
+    const CoreTrace trace;
+    CoreModel core(trace, 4, 128, 8);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.instructions(), 0u);
+}
+
+TEST(CoreModelDeathTest, ZeroParametersAreFatal)
+{
+    const CoreTrace trace;
+    EXPECT_EXIT((CoreModel{trace, 0, 128, 8}),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT((CoreModel{trace, 4, 0, 8}),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT((CoreModel{trace, 4, 128, 0}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace ramp

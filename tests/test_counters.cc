@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the migration tracking hardware
+ * (src/migration/counters): Full Counters, MEA, remap cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "migration/counters.hh"
+
+namespace ramp
+{
+namespace
+{
+
+TEST(FullCounters, CountsReadsAndWritesSeparately)
+{
+    FullCounterTable counters;
+    counters.onAccess(1, false);
+    counters.onAccess(1, false);
+    counters.onAccess(1, true);
+    const auto counts = counters.countsOf(1);
+    EXPECT_EQ(counts.reads, 2u);
+    EXPECT_EQ(counts.writes, 1u);
+    EXPECT_EQ(counts.hotness(), 3u);
+    EXPECT_DOUBLE_EQ(counts.wrRatio(), 0.5);
+}
+
+TEST(FullCounters, UntouchedPageIsZero)
+{
+    FullCounterTable counters;
+    EXPECT_EQ(counters.countsOf(77).hotness(), 0u);
+}
+
+TEST(FullCounters, SaturatesAtWidth)
+{
+    FullCounterTable counters(4); // max 15
+    for (int i = 0; i < 100; ++i)
+        counters.onAccess(1, false);
+    EXPECT_EQ(counters.countsOf(1).reads, 15u);
+    EXPECT_EQ(counters.maxCount(), 15u);
+}
+
+TEST(FullCounters, DefaultEightBitSaturation)
+{
+    FullCounterTable counters;
+    for (int i = 0; i < 500; ++i)
+        counters.onAccess(1, true);
+    EXPECT_EQ(counters.countsOf(1).writes, 255u);
+}
+
+TEST(FullCounters, ResetClears)
+{
+    FullCounterTable counters;
+    counters.onAccess(1, false);
+    counters.reset();
+    EXPECT_EQ(counters.countsOf(1).hotness(), 0u);
+    EXPECT_TRUE(counters.touched().empty());
+}
+
+TEST(FullCounters, Means)
+{
+    FullCounterTable counters;
+    counters.onAccess(1, false); // hot 1, wr 0
+    counters.onAccess(2, true);
+    counters.onAccess(2, true);
+    counters.onAccess(2, false); // hot 3, wr 2
+    EXPECT_DOUBLE_EQ(counters.meanHotness(), 2.0);
+    EXPECT_DOUBLE_EQ(counters.meanWrRatio(), 1.0);
+}
+
+TEST(FullCounters, StorageBytesMatchPaperSection63)
+{
+    // 4.25M pages x 16 bits = 8.5 MB; x 8 bits = 4.25 MB.
+    const std::uint64_t pages = (17ULL << 30) / 4096;
+    EXPECT_EQ(FullCounterTable::storageBytes(pages, 8, true),
+              pages * 2);
+    EXPECT_EQ(FullCounterTable::storageBytes(pages, 8, false),
+              pages);
+    // 262K HBM pages with split 8-bit counters = 512 KB.
+    const std::uint64_t hbm_pages = (1ULL << 30) / 4096;
+    EXPECT_EQ(FullCounterTable::storageBytes(hbm_pages, 8, true),
+              512ULL * 1024);
+}
+
+TEST(Mea, FindsTheMajorityElement)
+{
+    MeaTracker mea(4);
+    for (int i = 0; i < 100; ++i) {
+        mea.onAccess(7);
+        if (i % 2 == 0)
+            mea.onAccess(static_cast<PageId>(100 + i));
+    }
+    const auto hot = mea.hotPages();
+    ASSERT_FALSE(hot.empty());
+    EXPECT_EQ(hot[0], 7u);
+}
+
+TEST(Mea, CapacityBoundsTrackedSet)
+{
+    MeaTracker mea(4);
+    for (PageId page = 0; page < 100; ++page)
+        mea.onAccess(page);
+    EXPECT_LE(mea.hotPages().size(), 4u);
+}
+
+TEST(Mea, DecrementEvictsWeakEntries)
+{
+    MeaTracker mea(2);
+    mea.onAccess(1);
+    mea.onAccess(2);
+    // A conflicting access decrements both to 0 and drops them; the
+    // new page is then inserted on its next arrival.
+    mea.onAccess(3);
+    mea.onAccess(3);
+    const auto hot = mea.hotPages();
+    ASSERT_EQ(hot.size(), 1u);
+    EXPECT_EQ(hot[0], 3u);
+}
+
+TEST(Mea, HotPagesSortedByCount)
+{
+    MeaTracker mea(4);
+    for (int i = 0; i < 5; ++i)
+        mea.onAccess(1);
+    for (int i = 0; i < 3; ++i)
+        mea.onAccess(2);
+    mea.onAccess(3);
+    const auto hot = mea.hotPages();
+    ASSERT_EQ(hot.size(), 3u);
+    EXPECT_EQ(hot[0], 1u);
+    EXPECT_EQ(hot[1], 2u);
+    EXPECT_EQ(hot[2], 3u);
+}
+
+TEST(Mea, ResetClears)
+{
+    MeaTracker mea(4);
+    mea.onAccess(1);
+    mea.reset();
+    EXPECT_TRUE(mea.hotPages().empty());
+}
+
+TEST(Mea, StorageIsTiny)
+{
+    EXPECT_EQ(MeaTracker::storageBytes(32), 256u);
+}
+
+TEST(RemapCache, MissThenHit)
+{
+    RemapCache cache(4, 10);
+    EXPECT_EQ(cache.lookup(1), 10u);
+    EXPECT_EQ(cache.lookup(1), 0u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_DOUBLE_EQ(cache.hitRatio(), 0.5);
+}
+
+TEST(RemapCache, LruEviction)
+{
+    RemapCache cache(2, 10);
+    cache.lookup(1);
+    cache.lookup(2);
+    cache.lookup(1); // 1 becomes MRU
+    cache.lookup(3); // evicts 2
+    EXPECT_EQ(cache.lookup(1), 0u);
+    EXPECT_EQ(cache.lookup(2), 10u); // miss again
+}
+
+TEST(RemapCache, StorageMatchesMemPod)
+{
+    // 64 KB remap cache = 8192 entries x 8 B.
+    EXPECT_EQ(RemapCache::storageBytes(8192), 64ULL * 1024);
+}
+
+TEST(CountersDeathTest, InvalidConfigs)
+{
+    EXPECT_EXIT(FullCounterTable{0}, ::testing::ExitedWithCode(1),
+                "");
+    EXPECT_EXIT(MeaTracker{0}, ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT((RemapCache{0, 1}), ::testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace ramp

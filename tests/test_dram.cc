@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the DRAM timing model (src/dram).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/memory.hh"
+
+namespace ramp
+{
+namespace
+{
+
+TEST(DramConfig, PresetsMatchTable1)
+{
+    const auto ddr = ddr3Config();
+    EXPECT_EQ(ddr.channels, 2u);
+    EXPECT_EQ(ddr.banksPerRank, 8u);
+    EXPECT_EQ(ddr.id, MemoryId::DDR);
+
+    const auto hbm = hbmConfig();
+    EXPECT_EQ(hbm.channels, 8u);
+    EXPECT_EQ(hbm.id, MemoryId::HBM);
+
+    // Aggregate peak bandwidth: HBM must be several times DDR.
+    EXPECT_GT(hbm.peakBandwidth(), 3.0 * ddr.peakBandwidth());
+}
+
+TEST(DramConfig, CapacityPages)
+{
+    EXPECT_EQ(hbmConfig().capacityPages(), (32ULL << 20) / 4096);
+    EXPECT_EQ(ddr3Config().capacityPages(), (512ULL << 20) / 4096);
+}
+
+TEST(DramConfig, NsToCyclesAt3p2GHz)
+{
+    EXPECT_EQ(nsToCycles(1.0), 3u);  // 3.2 rounds to 3
+    EXPECT_EQ(nsToCycles(10.0), 32u);
+    EXPECT_EQ(nsToCycles(0.0), 0u);
+}
+
+TEST(Dram, IdleReadLatencyIsCasPlusBurst)
+{
+    DramMemory dram(ddr3Config());
+    const auto &t = dram.config().timing;
+    // First access: activate (tRCD) + CAS + burst.
+    const Cycle completion = dram.access(0, 0, false);
+    EXPECT_EQ(completion, t.tRCD + t.tCL + t.tBURST);
+}
+
+TEST(Dram, RowHitFasterThanRowMiss)
+{
+    DramMemory dram(ddr3Config());
+    dram.access(0, 0, false); // opens row 0
+    // Same row, later line in the same channel: row hit.
+    const Cycle start = 1'000'000;
+    const std::uint64_t channels = dram.config().channels;
+    const Cycle hit =
+        dram.access(start, 2 * channels * lineSize, false) - start;
+    // A line mapping to the same bank but a far row: miss.
+    const Cycle start2 = 2'000'000;
+    const auto lines_per_row = dram.config().rowBytes / lineSize;
+    const auto banks = dram.config().banksPerRank *
+                       dram.config().ranksPerChannel;
+    const Addr far = channels * lines_per_row * banks * lineSize;
+    const Cycle miss = dram.access(start2, far, false) - start2;
+    EXPECT_LT(hit, miss);
+}
+
+TEST(Dram, RowHitStreamRunsAtBurstRate)
+{
+    DramMemory dram(ddr3Config());
+    const auto &t = dram.config().timing;
+    const std::uint64_t channels = dram.config().channels;
+    // Stream lines of channel 0's open row back-to-back.
+    Cycle completion = 0;
+    const int n = 16;
+    for (int i = 0; i < n; ++i)
+        completion = dram.access(
+            0, static_cast<Addr>(i) * channels * lineSize, false);
+    // After the first access, each extra line costs ~tBURST.
+    const Cycle expected_tail =
+        static_cast<Cycle>(n - 1) * t.tBURST;
+    EXPECT_LE(completion,
+              t.tRCD + t.tCL + t.tBURST + expected_tail + 1);
+}
+
+TEST(Dram, ChannelsServeInParallel)
+{
+    DramMemory dram(ddr3Config());
+    // One line to each channel at time 0: both complete at the idle
+    // latency (no serialisation across channels).
+    const Cycle a = dram.access(0, 0 * lineSize, false);
+    const Cycle b = dram.access(0, 1 * lineSize, false);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Dram, SameChannelSerialisesOnBus)
+{
+    DramMemory dram(ddr3Config());
+    const std::uint64_t channels = dram.config().channels;
+    const Cycle a = dram.access(0, 0, false);
+    const Cycle b = dram.access(0, channels * lineSize, false);
+    EXPECT_GE(b, a + dram.config().timing.tBURST);
+}
+
+TEST(Dram, HbmStreamsFasterThanDdr)
+{
+    DramMemory ddr(ddr3Config());
+    DramMemory hbm(hbmConfig());
+    Cycle ddr_done = 0, hbm_done = 0;
+    for (Addr addr = 0; addr < 512 * lineSize; addr += lineSize) {
+        ddr_done = ddr.access(0, addr, false);
+        hbm_done = hbm.access(0, addr, false);
+    }
+    EXPECT_LT(hbm_done, ddr_done);
+}
+
+TEST(Dram, StatsTrackReadsWritesAndRowHits)
+{
+    DramMemory dram(ddr3Config());
+    dram.access(0, 0, false);
+    dram.access(0, dram.config().channels * lineSize, false);
+    dram.access(0, 0, true);
+    const auto &stats = dram.stats();
+    EXPECT_EQ(stats.reads, 2u);
+    EXPECT_EQ(stats.writes, 1u);
+    EXPECT_EQ(stats.rowHits + stats.rowMisses, 3u);
+    EXPECT_GT(stats.busBusyCycles, 0u);
+    EXPECT_GT(stats.avgReadLatency(), 0.0);
+    EXPECT_GT(stats.rowHitRatio(), 0.0);
+}
+
+TEST(Dram, ResetStatsClearsCounters)
+{
+    DramMemory dram(hbmConfig());
+    dram.access(0, 0, false);
+    dram.resetStats();
+    EXPECT_EQ(dram.stats().reads, 0u);
+    EXPECT_EQ(dram.stats().busBusyCycles, 0u);
+}
+
+TEST(Dram, LoadedLatencyGrowsUnderContention)
+{
+    DramMemory dram(ddr3Config());
+    // Saturate one channel with same-cycle arrivals.
+    Cycle last = 0;
+    for (int i = 0; i < 64; ++i)
+        last = dram.access(
+            0, static_cast<Addr>(i) * dram.config().channels *
+                   lineSize * 997 % (1 << 26) / lineSize * lineSize *
+                   dram.config().channels,
+            false);
+    EXPECT_GT(last, dram.config().idleReadLatency());
+    EXPECT_GT(dram.stats().avgReadLatency(),
+              static_cast<double>(dram.config().idleReadLatency()));
+}
+
+TEST(Dram, BusUtilisationBounded)
+{
+    DramMemory dram(ddr3Config());
+    Cycle last = 0;
+    for (int i = 0; i < 1000; ++i)
+        last = dram.access(static_cast<Cycle>(i),
+                           static_cast<Addr>(i) * lineSize, false);
+    const double util =
+        dram.stats().busUtilisation(last, dram.config().channels);
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(DramDeathTest, BadConfigIsFatal)
+{
+    DramConfig config = ddr3Config();
+    config.channels = 0;
+    EXPECT_EXIT(DramMemory{config}, ::testing::ExitedWithCode(1),
+                "");
+    DramConfig odd_row = ddr3Config();
+    odd_row.rowBytes = 100;
+    EXPECT_EXIT(DramMemory{odd_row}, ::testing::ExitedWithCode(1),
+                "row");
+}
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Property tests for the DRAM timing model on random request
+ * streams: latency floors, bus accounting, and preset ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/memory.hh"
+
+namespace ramp
+{
+namespace
+{
+
+class DramFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+  protected:
+    DramConfig config() const
+    {
+        return std::get<0>(GetParam()) == 0 ? ddr3Config()
+                                            : hbmConfig();
+    }
+};
+
+TEST_P(DramFuzzTest, CompletionNeverBeforeMinimumLatency)
+{
+    DramMemory dram(config());
+    Rng rng(std::get<1>(GetParam()));
+    const auto &t = dram.config().timing;
+    Cycle now = 0;
+    for (int i = 0; i < 20000; ++i) {
+        now += rng.nextRange(12);
+        const Addr addr = rng.nextRange(1 << 24) / 64 * 64;
+        const bool is_write = rng.nextBool(0.3);
+        const Cycle completion = dram.access(now, addr, is_write);
+        const Cycle floor =
+            (is_write ? t.tCWL : t.tCL) + t.tBURST;
+        ASSERT_GE(completion, now + floor) << "request " << i;
+    }
+}
+
+TEST_P(DramFuzzTest, BusBusyEqualsAccessesTimesBurst)
+{
+    DramMemory dram(config());
+    Rng rng(std::get<1>(GetParam()) + 1);
+    const int n = 5000;
+    Cycle now = 0;
+    for (int i = 0; i < n; ++i) {
+        now += rng.nextRange(20);
+        dram.access(now, rng.nextRange(1 << 24) / 64 * 64,
+                    rng.nextBool(0.3));
+    }
+    EXPECT_EQ(dram.stats().busBusyCycles,
+              static_cast<Cycle>(n) * dram.config().timing.tBURST);
+    EXPECT_EQ(dram.stats().reads + dram.stats().writes,
+              static_cast<std::uint64_t>(n));
+    EXPECT_EQ(dram.stats().rowHits + dram.stats().rowMisses,
+              static_cast<std::uint64_t>(n));
+}
+
+TEST_P(DramFuzzTest, SequentialStreamIsMostlyRowHits)
+{
+    DramMemory dram(config());
+    Cycle now = 0;
+    for (Addr addr = 0; addr < (1 << 20); addr += lineSize)
+        dram.access(now += 4, addr, false);
+    EXPECT_GT(dram.stats().rowHitRatio(), 0.9);
+}
+
+TEST_P(DramFuzzTest, RandomStreamHasMoreMissesThanSequential)
+{
+    DramMemory sequential(config());
+    DramMemory random(config());
+    Rng rng(std::get<1>(GetParam()) + 2);
+    Cycle now = 0;
+    for (int i = 0; i < 10000; ++i) {
+        now += 4;
+        sequential.access(now, static_cast<Addr>(i) * lineSize,
+                          false);
+        random.access(now, rng.nextRange(1 << 26) / 64 * 64, false);
+    }
+    EXPECT_GT(random.stats().rowMisses,
+              sequential.stats().rowMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesAndSeeds, DramFuzzTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(41ULL, 43ULL)));
+
+TEST(DramThroughput, HbmSustainsHigherRandomBandwidth)
+{
+    // Saturating both devices with the same random demand, HBM must
+    // finish markedly earlier (more channels, faster bursts).
+    DramMemory ddr(ddr3Config());
+    DramMemory hbm(hbmConfig());
+    Rng rng(99);
+    Cycle ddr_done = 0, hbm_done = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = rng.nextRange(1 << 25) / 64 * 64;
+        ddr_done = std::max(ddr_done, ddr.access(0, addr, false));
+        hbm_done = std::max(hbm_done, hbm.access(0, addr, false));
+    }
+    EXPECT_LT(hbm_done * 3, ddr_done);
+}
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Property tests for migration engines: on random access streams,
+ * every decision must be structurally valid — swaps pair an HBM
+ * resident with a DDR resident, nothing pinned moves, budgets hold,
+ * and no page appears twice in one decision.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/rng.hh"
+#include "migration/engine.hh"
+
+namespace ramp
+{
+namespace
+{
+
+enum class Kind
+{
+    Perf,
+    Fc,
+    Cc,
+};
+
+std::unique_ptr<MigrationEngine>
+makeKind(Kind kind)
+{
+    switch (kind) {
+      case Kind::Perf:
+        return std::make_unique<PerfFocusedMigration>(1000, 64);
+      case Kind::Fc:
+        return std::make_unique<FcReliabilityMigration>(1000, 64);
+      case Kind::Cc:
+        return std::make_unique<CrossCounterMigration>(1000, 4, 32,
+                                                       8, 64);
+    }
+    return nullptr;
+}
+
+class EngineFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+};
+
+TEST_P(EngineFuzzTest, DecisionsAreAlwaysValid)
+{
+    const auto [kind_raw, seed] = GetParam();
+    const auto kind = static_cast<Kind>(kind_raw);
+    Rng rng(seed);
+
+    const std::uint64_t capacity = 24;
+    const PageId universe = 128;
+    PlacementMap map(capacity);
+    std::set<PageId> pinned;
+    for (PageId page = 0; page < capacity; ++page) {
+        if (page % 8 == 0) {
+            map.placePinned(page, MemoryId::HBM);
+            pinned.insert(page);
+        } else {
+            map.place(page, MemoryId::HBM);
+        }
+    }
+
+    const auto engine = makeKind(kind);
+    Cycle now = 0;
+    for (int interval = 0; interval < 40; ++interval) {
+        // Random traffic with a drifting hot set.
+        for (int i = 0; i < 600; ++i) {
+            const PageId page =
+                (rng.nextRange(40) + interval * 2) % universe;
+            engine->onAccess(page, rng.nextBool(0.4),
+                             map.memoryOf(page));
+        }
+        now += engine->interval();
+        const auto decision = engine->onInterval(now, map);
+
+        // Structural validity.
+        std::set<PageId> seen;
+        auto check_unique = [&](PageId page) {
+            ASSERT_TRUE(seen.insert(page).second)
+                << "page " << page << " moved twice";
+        };
+        for (const auto &[victim, fill] : decision.swaps) {
+            check_unique(victim);
+            check_unique(fill);
+            EXPECT_EQ(map.memoryOf(victim), MemoryId::HBM);
+            EXPECT_EQ(map.memoryOf(fill), MemoryId::DDR);
+            EXPECT_FALSE(pinned.count(victim));
+            EXPECT_FALSE(pinned.count(fill));
+        }
+        for (const PageId page : decision.evictions) {
+            check_unique(page);
+            EXPECT_EQ(map.memoryOf(page), MemoryId::HBM);
+            EXPECT_FALSE(pinned.count(page));
+        }
+        for (const PageId page : decision.promotions) {
+            check_unique(page);
+            EXPECT_EQ(map.memoryOf(page), MemoryId::DDR);
+            EXPECT_FALSE(pinned.count(page));
+        }
+        EXPECT_LE(decision.promotions.size(),
+                  map.hbmFreePages() + decision.evictions.size());
+        EXPECT_LE(decision.pagesMoved(), 64u + 8u);
+
+        // Apply the decision the way the system does.
+        for (const PageId page : decision.evictions)
+            ASSERT_TRUE(map.evictToDdr(page));
+        for (const auto &[victim, fill] : decision.swaps)
+            ASSERT_TRUE(map.swap(victim, fill));
+        for (const PageId page : decision.promotions)
+            ASSERT_TRUE(map.promoteToHbm(page));
+        ASSERT_LE(map.hbmUsedPages(), capacity);
+
+        // Pinned pages never moved.
+        for (const PageId page : pinned)
+            ASSERT_EQ(map.memoryOf(page), MemoryId::HBM);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndSeeds, EngineFuzzTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(7ULL, 77ULL, 777ULL)));
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for fault geometry and the ECC schemes
+ * (src/reliability/fault, src/reliability/ecc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reliability/ecc.hh"
+#include "reliability/fit.hh"
+
+namespace ramp
+{
+namespace
+{
+
+ChipGeometry
+x8Geometry()
+{
+    ChipGeometry geometry;
+    geometry.bitsPerWord = 8;
+    return geometry;
+}
+
+FaultRecord
+bitFault(std::uint32_t chip, std::uint64_t bank, std::uint64_t row,
+         std::uint64_t column, std::uint64_t bit)
+{
+    FaultRecord fault;
+    fault.mode = FaultMode::Bit;
+    fault.chip = chip;
+    fault.bank = bank;
+    fault.row = row;
+    fault.column = column;
+    fault.bit = bit;
+    return fault;
+}
+
+FaultRecord
+rowFault(std::uint32_t chip, std::uint64_t bank, std::uint64_t row)
+{
+    FaultRecord fault;
+    fault.mode = FaultMode::Row;
+    fault.chip = chip;
+    fault.bank = bank;
+    fault.row = row;
+    return fault;
+}
+
+TEST(Fault, MultiBitClassification)
+{
+    const auto geometry = x8Geometry();
+    FaultRecord fault;
+    fault.mode = FaultMode::Bit;
+    EXPECT_FALSE(fault.multiBit(geometry));
+    fault.mode = FaultMode::Column;
+    EXPECT_FALSE(fault.multiBit(geometry));
+    for (const auto mode : {FaultMode::Word, FaultMode::Row,
+                            FaultMode::Bank, FaultMode::Rank}) {
+        fault.mode = mode;
+        EXPECT_TRUE(fault.multiBit(geometry))
+            << faultModeName(mode);
+    }
+}
+
+TEST(Fault, SingleBitChipHasNoMultiBitModes)
+{
+    ChipGeometry geometry;
+    geometry.bitsPerWord = 1;
+    FaultRecord fault;
+    fault.mode = FaultMode::Row;
+    EXPECT_FALSE(fault.multiBit(geometry));
+}
+
+TEST(Fault, SameWordIntersection)
+{
+    // Same coordinates intersect.
+    EXPECT_TRUE(sameWordPossible(bitFault(0, 1, 2, 3, 0),
+                                 bitFault(1, 1, 2, 3, 0)));
+    // Different rows cannot share a word.
+    EXPECT_FALSE(sameWordPossible(bitFault(0, 1, 2, 3, 0),
+                                  bitFault(1, 1, 9, 3, 0)));
+    // Row faults wildcard the column: intersects any same-row bit.
+    EXPECT_TRUE(sameWordPossible(rowFault(0, 1, 2),
+                                 bitFault(1, 1, 2, 77, 0)));
+    // A rank fault wildcards everything.
+    FaultRecord rank;
+    rank.mode = FaultMode::Rank;
+    EXPECT_TRUE(sameWordPossible(rank, bitFault(3, 7, 8, 9, 2)));
+}
+
+TEST(Fault, SameBitSameChipDoesNotDefeatSecDed)
+{
+    const auto geometry = x8Geometry();
+    const auto a = bitFault(0, 1, 2, 3, 5);
+    const auto b = bitFault(0, 1, 2, 3, 5);
+    EXPECT_FALSE(defeatsSingleBitCorrection(a, b, geometry));
+}
+
+TEST(Fault, TwoBitsDifferentChipsDefeatSecDed)
+{
+    const auto geometry = x8Geometry();
+    const auto a = bitFault(0, 1, 2, 3, 5);
+    const auto b = bitFault(1, 1, 2, 3, 5);
+    EXPECT_TRUE(defeatsSingleBitCorrection(a, b, geometry));
+}
+
+TEST(Ecc, NoFaultsNoError)
+{
+    const std::vector<FaultRecord> none;
+    EXPECT_EQ(classifyFaults(EccKind::SecDed, none, x8Geometry()),
+              EccOutcome::NoError);
+}
+
+TEST(Ecc, NoneSchemeFailsOnAnything)
+{
+    const std::vector<FaultRecord> faults = {bitFault(0, 0, 0, 0, 0)};
+    EXPECT_EQ(classifyFaults(EccKind::None, faults, x8Geometry()),
+              EccOutcome::Uncorrected);
+}
+
+TEST(Ecc, SecDedCorrectsSingleBit)
+{
+    const std::vector<FaultRecord> faults = {bitFault(0, 0, 0, 0, 0)};
+    EXPECT_EQ(classifyFaults(EccKind::SecDed, faults, x8Geometry()),
+              EccOutcome::Corrected);
+}
+
+TEST(Ecc, SecDedCorrectsColumnFault)
+{
+    FaultRecord column;
+    column.mode = FaultMode::Column;
+    column.chip = 0;
+    column.bank = 1;
+    column.column = 5;
+    column.bit = 2;
+    const std::vector<FaultRecord> faults = {column};
+    EXPECT_EQ(classifyFaults(EccKind::SecDed, faults, x8Geometry()),
+              EccOutcome::Corrected);
+}
+
+TEST(Ecc, SecDedFailsOnCoarseModes)
+{
+    for (const auto mode : {FaultMode::Word, FaultMode::Row,
+                            FaultMode::Bank, FaultMode::Rank}) {
+        FaultRecord fault;
+        fault.mode = mode;
+        fault.chip = 0;
+        fault.bank = mode == FaultMode::Rank ? faultWildcard : 0;
+        const std::vector<FaultRecord> faults = {fault};
+        EXPECT_EQ(
+            classifyFaults(EccKind::SecDed, faults, x8Geometry()),
+            EccOutcome::Uncorrected)
+            << faultModeName(mode);
+    }
+}
+
+TEST(Ecc, SecDedFailsOnOverlappingBitPair)
+{
+    const std::vector<FaultRecord> faults = {
+        bitFault(0, 1, 2, 3, 0), bitFault(4, 1, 2, 3, 1)};
+    EXPECT_EQ(classifyFaults(EccKind::SecDed, faults, x8Geometry()),
+              EccOutcome::Uncorrected);
+}
+
+TEST(Ecc, SecDedCorrectsDisjointBitPair)
+{
+    const std::vector<FaultRecord> faults = {
+        bitFault(0, 1, 2, 3, 0), bitFault(4, 1, 9, 3, 1)};
+    EXPECT_EQ(classifyFaults(EccKind::SecDed, faults, x8Geometry()),
+              EccOutcome::Corrected);
+}
+
+TEST(Ecc, ChipKillCorrectsAnySingleChipFault)
+{
+    ChipGeometry x4;
+    x4.bitsPerWord = 4;
+    for (const auto mode : {FaultMode::Bit, FaultMode::Word,
+                            FaultMode::Column, FaultMode::Row,
+                            FaultMode::Bank, FaultMode::Rank}) {
+        FaultRecord fault;
+        fault.mode = mode;
+        fault.chip = 7;
+        const std::vector<FaultRecord> faults = {fault};
+        EXPECT_EQ(classifyFaults(EccKind::ChipKill, faults, x4),
+                  EccOutcome::Corrected)
+            << faultModeName(mode);
+    }
+}
+
+TEST(Ecc, ChipKillCorrectsManyFaultsOnOneChip)
+{
+    const std::vector<FaultRecord> faults = {
+        rowFault(3, 0, 1), rowFault(3, 0, 2), bitFault(3, 1, 2, 3, 0)};
+    EXPECT_EQ(classifyFaults(EccKind::ChipKill, faults, x8Geometry()),
+              EccOutcome::Corrected);
+}
+
+TEST(Ecc, ChipKillFailsOnTwoChipOverlap)
+{
+    const std::vector<FaultRecord> faults = {rowFault(0, 2, 5),
+                                             rowFault(1, 2, 5)};
+    EXPECT_EQ(classifyFaults(EccKind::ChipKill, faults, x8Geometry()),
+              EccOutcome::Uncorrected);
+}
+
+TEST(Ecc, ChipKillSurvivesTwoChipDisjointFaults)
+{
+    const std::vector<FaultRecord> faults = {rowFault(0, 2, 5),
+                                             rowFault(1, 2, 6)};
+    EXPECT_EQ(classifyFaults(EccKind::ChipKill, faults, x8Geometry()),
+              EccOutcome::Corrected);
+}
+
+TEST(Fit, FieldStudyRatesArePositive)
+{
+    const auto rates = FitRates::fieldStudyDdr();
+    for (int m = 0; m < numFaultModes; ++m)
+        EXPECT_GT(rates.of(static_cast<FaultMode>(m)), 0.0);
+    EXPECT_NEAR(rates.total(), 14.2 + 1.4 + 1.4 + 0.2 + 0.8 + 0.3,
+                1e-12);
+}
+
+TEST(Fit, ScalingMultipliesEveryMode)
+{
+    const auto base = FitRates::fieldStudyDdr();
+    const auto scaled = base.scaled(3.0);
+    for (int m = 0; m < numFaultModes; ++m) {
+        const auto mode = static_cast<FaultMode>(m);
+        EXPECT_DOUBLE_EQ(scaled.of(mode), 3.0 * base.of(mode));
+    }
+    EXPECT_DOUBLE_EQ(FitRates::stacked(2.0).total(),
+                     2.0 * base.total());
+}
+
+TEST(Fit, ModeNames)
+{
+    EXPECT_STREQ(faultModeName(FaultMode::Bit), "bit");
+    EXPECT_STREQ(faultModeName(FaultMode::Rank), "rank");
+}
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the two-level cache hierarchy and the trace filter
+ * (src/cache/hierarchy, src/cache/filter).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/filter.hh"
+#include "cache/hierarchy.hh"
+#include "trace/generator.hh"
+
+namespace ramp
+{
+namespace
+{
+
+HierarchyConfig
+tinyHierarchy(int cores = 2)
+{
+    HierarchyConfig config;
+    config.cores = cores;
+    config.l1i = {1024, 2, 64};
+    config.l1d = {1024, 2, 64};
+    config.l2 = {8192, 4, 64};
+    return config;
+}
+
+TEST(Hierarchy, FirstAccessGoesToMemory)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    const auto result = hierarchy.accessData(0, 0x1000, false);
+    EXPECT_FALSE(result.l1Hit);
+    EXPECT_FALSE(result.l2Hit);
+    ASSERT_EQ(result.numAccesses, 1);
+    EXPECT_EQ(result.accesses[0].addr, 0x1000u);
+    EXPECT_FALSE(result.accesses[0].isWrite);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.accessData(0, 0x1000, false);
+    const auto result = hierarchy.accessData(0, 0x1000, false);
+    EXPECT_TRUE(result.l1Hit);
+    EXPECT_EQ(result.numAccesses, 0);
+}
+
+TEST(Hierarchy, L2AbsorbsCrossCoreReuse)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.accessData(0, 0x1000, false);
+    const auto result = hierarchy.accessData(1, 0x1000, false);
+    EXPECT_FALSE(result.l1Hit);
+    EXPECT_TRUE(result.l2Hit);
+    EXPECT_EQ(result.numAccesses, 0);
+}
+
+TEST(Hierarchy, InstructionPathUsesOwnL1)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.accessInst(0, 0x2000);
+    EXPECT_TRUE(hierarchy.accessInst(0, 0x2000).l1Hit);
+    // Data access to the same line misses L1D but hits shared L2.
+    const auto data = hierarchy.accessData(0, 0x2000, false);
+    EXPECT_FALSE(data.l1Hit);
+    EXPECT_TRUE(data.l2Hit);
+}
+
+TEST(Hierarchy, DrainFlushesDirtyData)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.accessData(0, 0x3000, true);
+    const auto accesses = hierarchy.drain();
+    ASSERT_FALSE(accesses.empty());
+    bool found = false;
+    for (const auto &access : accesses) {
+        EXPECT_TRUE(access.isWrite);
+        found = found || access.addr == 0x3000;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Hierarchy, StatsPerCore)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.accessData(0, 0x1000, false);
+    hierarchy.accessData(0, 0x1000, false);
+    hierarchy.accessData(1, 0x5000, false);
+    EXPECT_EQ(hierarchy.l1dStats(0).accesses, 2u);
+    EXPECT_EQ(hierarchy.l1dStats(0).hits, 1u);
+    EXPECT_EQ(hierarchy.l1dStats(1).accesses, 1u);
+    EXPECT_EQ(hierarchy.l2Stats().accesses, 2u);
+}
+
+TEST(Filter, AbsorbsHitsAndPreservesInstructions)
+{
+    // Two accesses to the same line: the second is absorbed and its
+    // instructions fold into the following surviving record.
+    std::vector<CoreTrace> cpu(1);
+    cpu[0].push_back({0x1000, 9, 0, false});
+    cpu[0].push_back({0x1000, 9, 0, false}); // L1 hit
+    cpu[0].push_back({0x9000, 9, 0, false});
+
+    FilterStats stats;
+    const auto mem = filterTraces(cpu, tinyHierarchy(1), &stats);
+    ASSERT_EQ(mem.size(), 1u);
+    ASSERT_EQ(mem[0].size(), 2u);
+    EXPECT_EQ(stats.cpuAccesses, 3u);
+    EXPECT_EQ(stats.memAccesses, 2u);
+    // Folded gap: the absorbed record's 10 instructions + own 9.
+    EXPECT_EQ(mem[0][1].gap, 19u);
+
+    const auto cpu_stats = computeStats(cpu);
+    const auto mem_stats = computeStats(mem);
+    EXPECT_EQ(mem_stats.instructions, cpu_stats.instructions);
+}
+
+TEST(Filter, DirtyEvictionsBecomeWritebacks)
+{
+    // Write a line, then stream enough lines through the tiny
+    // hierarchy to force its eviction all the way out.
+    std::vector<CoreTrace> cpu(1);
+    cpu[0].push_back({0x0, 0, 0, true});
+    for (Addr addr = 0x10000; addr < 0x18000; addr += 64)
+        cpu[0].push_back({addr, 0, 0, false});
+
+    FilterStats stats;
+    const auto mem = filterTraces(cpu, tinyHierarchy(1), &stats);
+    bool wb_found = false;
+    for (const auto &req : mem[0])
+        wb_found = wb_found || (req.isWrite && req.addr == 0x0);
+    EXPECT_TRUE(wb_found);
+    EXPECT_GT(stats.writebacks, 0u);
+}
+
+TEST(Filter, ReducesSyntheticCpuTraces)
+{
+    GeneratorOptions options;
+    options.traceScale = 0.01;
+    options.cpuLevel = true;
+    const auto spec = homogeneousWorkload("gcc");
+    const auto cpu = generateTraces(spec, options);
+
+    HierarchyConfig config; // default 16-core scaled hierarchy
+    FilterStats stats;
+    const auto mem = filterTraces(cpu, config, &stats);
+    EXPECT_LT(stats.passRatio(), 1.0);
+    EXPECT_GT(stats.passRatio(), 0.0);
+    EXPECT_EQ(mem.size(), cpu.size());
+}
+
+TEST(Filter, DeterministicAcrossRuns)
+{
+    GeneratorOptions options;
+    options.traceScale = 0.005;
+    options.cpuLevel = true;
+    const auto spec = homogeneousWorkload("bzip");
+    const auto cpu = generateTraces(spec, options);
+    const auto a = filterTraces(cpu, tinyHierarchy(16));
+    const auto b = filterTraces(cpu, tinyHierarchy(16));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t core = 0; core < a.size(); ++core) {
+        ASSERT_EQ(a[core].size(), b[core].size());
+        for (std::size_t i = 0; i < a[core].size(); ++i)
+            EXPECT_EQ(a[core][i].addr, b[core][i].addr);
+    }
+}
+
+} // namespace
+} // namespace ramp

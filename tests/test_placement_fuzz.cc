@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fuzz/property tests for the placement map: random operation
+ * sequences must preserve every structural invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hh"
+#include "placement/map.hh"
+
+namespace ramp
+{
+namespace
+{
+
+class PlacementFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PlacementFuzzTest, InvariantsHoldUnderRandomOps)
+{
+    Rng rng(GetParam());
+    const std::uint64_t capacity = 32;
+    const PageId universe = 256;
+    PlacementMap map(capacity);
+
+    // Shadow model of residency and pinning.
+    std::map<PageId, MemoryId> shadow;
+    std::set<PageId> pinned;
+
+    // Seed some initial placements (a few pinned).
+    for (PageId page = 0; page < capacity / 2; ++page) {
+        if (rng.nextBool(0.2)) {
+            map.placePinned(page, MemoryId::HBM);
+            pinned.insert(page);
+        } else {
+            map.place(page, MemoryId::HBM);
+        }
+        shadow[page] = MemoryId::HBM;
+    }
+
+    for (int op = 0; op < 5000; ++op) {
+        const PageId a = rng.nextRange(universe);
+        const PageId b = rng.nextRange(universe);
+        auto mem_of = [&](PageId page) {
+            const auto it = shadow.find(page);
+            return it == shadow.end() ? MemoryId::DDR : it->second;
+        };
+
+        switch (rng.nextRange(4)) {
+          case 0: { // swap
+            const bool ok = map.swap(a, b);
+            const bool expect = mem_of(a) == MemoryId::HBM &&
+                                mem_of(b) == MemoryId::DDR &&
+                                !pinned.count(a) && !pinned.count(b);
+            ASSERT_EQ(ok, expect) << "swap " << a << "," << b;
+            if (ok) {
+                shadow[a] = MemoryId::DDR;
+                shadow[b] = MemoryId::HBM;
+            }
+            break;
+          }
+          case 1: { // evict
+            const bool ok = map.evictToDdr(a);
+            const bool expect =
+                mem_of(a) == MemoryId::HBM && !pinned.count(a);
+            ASSERT_EQ(ok, expect) << "evict " << a;
+            if (ok)
+                shadow[a] = MemoryId::DDR;
+            break;
+          }
+          case 2: { // promote
+            const bool ok = map.promoteToHbm(a);
+            std::uint64_t used = 0;
+            for (const auto &[page, mem] : shadow)
+                used += mem == MemoryId::HBM ? 1 : 0;
+            const bool expect = mem_of(a) == MemoryId::DDR &&
+                                !pinned.count(a) && used < capacity;
+            ASSERT_EQ(ok, expect) << "promote " << a;
+            if (ok)
+                shadow[a] = MemoryId::HBM;
+            break;
+          }
+          default: { // access (frame allocation)
+            const Addr addr =
+                a * pageSize + rng.nextRange(pageSize);
+            const Addr dev = map.deviceAddr(addr);
+            EXPECT_EQ(dev % pageSize, addr % pageSize);
+            break;
+          }
+        }
+
+        // Invariants after every operation.
+        std::uint64_t used = 0;
+        for (const auto &[page, mem] : shadow)
+            used += mem == MemoryId::HBM ? 1 : 0;
+        ASSERT_EQ(map.hbmUsedPages(), used);
+        ASSERT_LE(map.hbmUsedPages(), capacity);
+    }
+
+    // Final residency agrees everywhere; frames unique per memory.
+    const auto hbm_pages = map.hbmPages();
+    std::set<PageId> hbm_set(hbm_pages.begin(), hbm_pages.end());
+    for (const auto &[page, mem] : shadow)
+        ASSERT_EQ(mem == MemoryId::HBM, hbm_set.count(page) == 1)
+            << "page " << page;
+
+    std::set<std::uint64_t> hbm_frames, ddr_frames;
+    for (PageId page = 0; page < universe; ++page) {
+        const auto mem_it = shadow.find(page);
+        const bool touched =
+            mem_it != shadow.end() || true; // deviceAddr allocates
+        if (!touched)
+            continue;
+        const std::uint64_t frame =
+            map.deviceAddr(page * pageSize) / pageSize;
+        auto &frames = map.memoryOf(page) == MemoryId::HBM
+                           ? hbm_frames
+                           : ddr_frames;
+        ASSERT_TRUE(frames.insert(frame).second)
+            << "duplicate frame for page " << page;
+    }
+    EXPECT_LE(hbm_frames.size(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementFuzzTest,
+                         ::testing::Values(101, 202, 303, 404, 505,
+                                           606));
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the placement map (src/placement/map).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "placement/map.hh"
+
+namespace ramp
+{
+namespace
+{
+
+TEST(PlacementMap, DefaultsToDdr)
+{
+    PlacementMap map(4);
+    EXPECT_EQ(map.memoryOf(0), MemoryId::DDR);
+    EXPECT_EQ(map.memoryOf(12345), MemoryId::DDR);
+    EXPECT_EQ(map.hbmUsedPages(), 0u);
+    EXPECT_EQ(map.hbmFreePages(), 4u);
+}
+
+TEST(PlacementMap, PlaceTracksCapacity)
+{
+    PlacementMap map(2);
+    map.place(10, MemoryId::HBM);
+    map.place(11, MemoryId::HBM);
+    EXPECT_EQ(map.memoryOf(10), MemoryId::HBM);
+    EXPECT_EQ(map.hbmUsedPages(), 2u);
+    EXPECT_EQ(map.hbmFreePages(), 0u);
+}
+
+TEST(PlacementMapDeathTest, OverfillIsFatal)
+{
+    PlacementMap map(1);
+    map.place(1, MemoryId::HBM);
+    EXPECT_EXIT(map.place(2, MemoryId::HBM),
+                ::testing::ExitedWithCode(1), "capacity");
+}
+
+TEST(PlacementMap, DeviceAddrStablePerPage)
+{
+    PlacementMap map(4);
+    map.place(7, MemoryId::HBM);
+    const Addr a = map.deviceAddr(7 * pageSize + 128);
+    const Addr b = map.deviceAddr(7 * pageSize + 128);
+    EXPECT_EQ(a, b);
+    // Offset within the page is preserved.
+    EXPECT_EQ(a % pageSize, 128u);
+}
+
+TEST(PlacementMap, DistinctPagesGetDistinctFrames)
+{
+    PlacementMap map(8);
+    std::set<Addr> frames;
+    for (PageId page = 0; page < 8; ++page) {
+        map.place(page, MemoryId::HBM);
+        frames.insert(map.deviceAddr(page * pageSize) / pageSize);
+    }
+    EXPECT_EQ(frames.size(), 8u);
+}
+
+TEST(PlacementMap, SwapExchangesMemoriesAndFrames)
+{
+    PlacementMap map(1);
+    map.place(1, MemoryId::HBM);
+    const Addr hbm_frame = map.deviceAddr(1 * pageSize);
+    const Addr ddr_frame = map.deviceAddr(2 * pageSize);
+
+    EXPECT_TRUE(map.swap(1, 2));
+    EXPECT_EQ(map.memoryOf(1), MemoryId::DDR);
+    EXPECT_EQ(map.memoryOf(2), MemoryId::HBM);
+    // Frames exchanged: page 2 now uses page 1's old HBM frame.
+    EXPECT_EQ(map.deviceAddr(2 * pageSize), hbm_frame);
+    EXPECT_EQ(map.deviceAddr(1 * pageSize), ddr_frame);
+    EXPECT_EQ(map.hbmUsedPages(), 1u);
+    EXPECT_EQ(map.migrations(), 2u);
+}
+
+TEST(PlacementMap, SwapRejectsWrongResidency)
+{
+    PlacementMap map(2);
+    map.place(1, MemoryId::HBM);
+    EXPECT_FALSE(map.swap(2, 1)); // 2 is not in HBM
+    EXPECT_FALSE(map.swap(1, 1)); // partner not in DDR
+    EXPECT_EQ(map.migrations(), 0u);
+}
+
+TEST(PlacementMap, PinnedPagesRefuseToMove)
+{
+    PlacementMap map(2);
+    map.placePinned(1, MemoryId::HBM);
+    EXPECT_TRUE(map.isPinned(1));
+    EXPECT_FALSE(map.swap(1, 2));
+    EXPECT_FALSE(map.evictToDdr(1));
+    EXPECT_EQ(map.memoryOf(1), MemoryId::HBM);
+}
+
+TEST(PlacementMap, EvictAndPromoteRoundTrip)
+{
+    PlacementMap map(1);
+    map.place(1, MemoryId::HBM);
+    EXPECT_TRUE(map.evictToDdr(1));
+    EXPECT_EQ(map.memoryOf(1), MemoryId::DDR);
+    EXPECT_EQ(map.hbmFreePages(), 1u);
+    EXPECT_TRUE(map.promoteToHbm(2));
+    EXPECT_EQ(map.memoryOf(2), MemoryId::HBM);
+    EXPECT_EQ(map.hbmFreePages(), 0u);
+    // Full HBM rejects further promotions.
+    EXPECT_FALSE(map.promoteToHbm(3));
+    EXPECT_EQ(map.migrations(), 2u);
+}
+
+TEST(PlacementMap, FrameReuseAfterEviction)
+{
+    PlacementMap map(1);
+    map.place(1, MemoryId::HBM);
+    const Addr frame = map.deviceAddr(1 * pageSize);
+    map.evictToDdr(1);
+    map.promoteToHbm(2);
+    EXPECT_EQ(map.deviceAddr(2 * pageSize), frame);
+}
+
+TEST(PlacementMap, HbmPagesEnumerates)
+{
+    PlacementMap map(3);
+    map.place(5, MemoryId::HBM);
+    map.place(9, MemoryId::HBM);
+    map.place(2, MemoryId::DDR);
+    const auto pages = map.hbmPages();
+    const std::set<PageId> set(pages.begin(), pages.end());
+    EXPECT_EQ(set, (std::set<PageId>{5, 9}));
+}
+
+} // namespace
+} // namespace ramp

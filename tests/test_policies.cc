@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the static placement policies (src/placement/policies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "placement/policies.hh"
+
+namespace ramp
+{
+namespace
+{
+
+/** Four-page profile with orthogonal hotness and risk. */
+PageProfile
+cornerProfile()
+{
+    PageProfile profile;
+    auto fill = [&](PageId page, int reads, int writes, double avf) {
+        for (int i = 0; i < reads; ++i)
+            profile.recordAccess(page, false);
+        for (int i = 0; i < writes; ++i)
+            profile.recordAccess(page, true);
+        profile.setAvf(page, avf);
+    };
+    fill(0, 90, 10, 0.9); // hot, high risk
+    fill(1, 20, 80, 0.1); // hot, low risk (write heavy)
+    fill(2, 5, 0, 0.8);   // cold, high risk
+    fill(3, 1, 4, 0.05);  // cold, low risk
+    return profile;
+}
+
+TEST(Policies, DdrOnlyPlacesNothing)
+{
+    const auto map = buildStaticPlacement(StaticPolicy::DdrOnly,
+                                          cornerProfile(), 4);
+    EXPECT_EQ(map.hbmUsedPages(), 0u);
+}
+
+TEST(Policies, PerfFocusedPicksHottest)
+{
+    const auto map = buildStaticPlacement(StaticPolicy::PerfFocused,
+                                          cornerProfile(), 2);
+    EXPECT_EQ(map.memoryOf(0), MemoryId::HBM);
+    EXPECT_EQ(map.memoryOf(1), MemoryId::HBM);
+    EXPECT_EQ(map.memoryOf(2), MemoryId::DDR);
+    EXPECT_EQ(map.memoryOf(3), MemoryId::DDR);
+}
+
+TEST(Policies, ReliabilityFocusedPicksLowestAvf)
+{
+    const auto map = buildStaticPlacement(
+        StaticPolicy::ReliabilityFocused, cornerProfile(), 2);
+    EXPECT_EQ(map.memoryOf(3), MemoryId::HBM); // avf .05
+    EXPECT_EQ(map.memoryOf(1), MemoryId::HBM); // avf .1
+    EXPECT_EQ(map.memoryOf(0), MemoryId::DDR);
+}
+
+TEST(Policies, BalancedPicksHotLowRiskOnly)
+{
+    const auto map = buildStaticPlacement(StaticPolicy::Balanced,
+                                          cornerProfile(), 3);
+    // Only page 1 is in the hot & low-risk quadrant; the policy is
+    // conservative and leaves the HBM underfilled.
+    EXPECT_EQ(map.memoryOf(1), MemoryId::HBM);
+    EXPECT_EQ(map.hbmUsedPages(), 1u);
+}
+
+TEST(Policies, WrRatioPrefersHighWriteShare)
+{
+    const auto map = buildStaticPlacement(StaticPolicy::WrRatio,
+                                          cornerProfile(), 2);
+    // Wr ratios: p0=0.11, p1=4, p2=0, p3=4 -> pages 1 and 3.
+    EXPECT_EQ(map.memoryOf(1), MemoryId::HBM);
+    EXPECT_EQ(map.memoryOf(3), MemoryId::HBM);
+}
+
+TEST(Policies, Wr2RatioAvoidsColdPages)
+{
+    const auto map = buildStaticPlacement(StaticPolicy::Wr2Ratio,
+                                          cornerProfile(), 1);
+    // Wr^2: p1 = 6400/20 = 320 dominates p3 = 16.
+    EXPECT_EQ(map.memoryOf(1), MemoryId::HBM);
+    EXPECT_EQ(map.memoryOf(3), MemoryId::DDR);
+}
+
+TEST(Policies, BalancedFilledTopsUp)
+{
+    const auto map =
+        buildBalancedFilledPlacement(cornerProfile(), 3);
+    // Quadrant page first, then hottest remaining.
+    EXPECT_EQ(map.memoryOf(1), MemoryId::HBM);
+    EXPECT_EQ(map.memoryOf(0), MemoryId::HBM);
+    EXPECT_EQ(map.hbmUsedPages(), 3u);
+}
+
+TEST(Policies, HotFractionSweep)
+{
+    const auto profile = cornerProfile();
+    const auto none = buildHotFractionPlacement(profile, 4, 0.0);
+    EXPECT_EQ(none.hbmUsedPages(), 0u);
+    const auto half = buildHotFractionPlacement(profile, 4, 0.5);
+    EXPECT_EQ(half.hbmUsedPages(), 2u);
+    const auto full = buildHotFractionPlacement(profile, 4, 1.0);
+    EXPECT_EQ(full.hbmUsedPages(), 4u);
+}
+
+TEST(PoliciesDeathTest, HotFractionOutOfRangeIsFatal)
+{
+    EXPECT_EXIT(
+        buildHotFractionPlacement(cornerProfile(), 4, 1.5),
+        ::testing::ExitedWithCode(1), "fraction");
+}
+
+TEST(Policies, PolicyNames)
+{
+    EXPECT_STREQ(policyName(StaticPolicy::DdrOnly), "ddr-only");
+    EXPECT_STREQ(policyName(StaticPolicy::Wr2Ratio), "wr2-ratio");
+}
+
+/** Property: every policy respects HBM capacity on random input. */
+class PolicyCapacityTest
+    : public ::testing::TestWithParam<StaticPolicy>
+{
+};
+
+TEST_P(PolicyCapacityTest, NeverExceedsCapacity)
+{
+    Rng rng(123);
+    PageProfile profile;
+    for (PageId page = 0; page < 500; ++page) {
+        const auto reads = rng.nextRange(100);
+        const auto writes = rng.nextRange(100);
+        for (std::uint64_t i = 0; i < reads; ++i)
+            profile.recordAccess(page, false);
+        for (std::uint64_t i = 0; i < writes; ++i)
+            profile.recordAccess(page, true);
+        profile.setAvf(page, rng.nextDouble());
+    }
+    for (const std::uint64_t capacity : {1ULL, 37ULL, 400ULL, 600ULL}) {
+        const auto map =
+            buildStaticPlacement(GetParam(), profile, capacity);
+        EXPECT_LE(map.hbmUsedPages(), capacity);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyCapacityTest,
+    ::testing::Values(StaticPolicy::DdrOnly, StaticPolicy::PerfFocused,
+                      StaticPolicy::ReliabilityFocused,
+                      StaticPolicy::Balanced, StaticPolicy::WrRatio,
+                      StaticPolicy::Wr2Ratio));
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for page profiles and quadrant analysis
+ * (src/placement/profile, src/placement/quadrant).
+ */
+
+#include <gtest/gtest.h>
+
+#include "placement/profile.hh"
+#include "placement/quadrant.hh"
+
+namespace ramp
+{
+namespace
+{
+
+TEST(PageStats, Ratios)
+{
+    PageStats stats;
+    stats.reads = 4;
+    stats.writes = 8;
+    EXPECT_EQ(stats.hotness(), 12u);
+    EXPECT_DOUBLE_EQ(stats.wrRatio(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.wr2Ratio(), 16.0);
+}
+
+TEST(PageStats, ZeroReadsUseFloorOfOne)
+{
+    PageStats stats;
+    stats.writes = 5;
+    EXPECT_DOUBLE_EQ(stats.wrRatio(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.wr2Ratio(), 25.0);
+}
+
+TEST(PageStats, PaperWr2Example)
+{
+    // Section 5.4.2: p1 is 4:1, p2 is 400:200. Wr ratio prefers p1,
+    // Wr^2 ratio prefers p2.
+    PageStats p1{1, 4, 0.0};
+    PageStats p2{200, 400, 0.0};
+    EXPECT_GT(p1.wrRatio(), p2.wrRatio());
+    EXPECT_GT(p2.wr2Ratio(), p1.wr2Ratio());
+}
+
+TEST(PageProfile, RecordsAccesses)
+{
+    PageProfile profile;
+    profile.recordAccess(1, false);
+    profile.recordAccess(1, false);
+    profile.recordAccess(1, true);
+    profile.recordAccess(2, true);
+    EXPECT_EQ(profile.statsOf(1).reads, 2u);
+    EXPECT_EQ(profile.statsOf(1).writes, 1u);
+    EXPECT_EQ(profile.statsOf(2).writes, 1u);
+    EXPECT_EQ(profile.statsOf(3).hotness(), 0u);
+    EXPECT_EQ(profile.footprintPages(), 2u);
+}
+
+TEST(PageProfile, SetAvf)
+{
+    PageProfile profile;
+    profile.recordAccess(1, false);
+    profile.setAvf(1, 0.42);
+    EXPECT_DOUBLE_EQ(profile.statsOf(1).avf, 0.42);
+}
+
+TEST(PageProfile, Means)
+{
+    PageProfile profile;
+    profile.recordAccess(1, false); // hotness 1
+    profile.recordAccess(2, false);
+    profile.recordAccess(2, false);
+    profile.recordAccess(2, false); // hotness 3
+    profile.setAvf(1, 0.2);
+    profile.setAvf(2, 0.6);
+    EXPECT_DOUBLE_EQ(profile.meanHotness(), 2.0);
+    EXPECT_DOUBLE_EQ(profile.meanAvf(), 0.4);
+}
+
+TEST(PageProfile, SortedByDescendingWithTieBreak)
+{
+    PageProfile profile;
+    profile.recordAccess(5, false);
+    profile.recordAccess(3, false);
+    profile.recordAccess(3, false);
+    profile.recordAccess(9, false); // ties with 5
+    const auto order = profile.sortedByDescending(
+        [](const PageStats &s) { return s.hotness(); });
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0].first, 3u);
+    EXPECT_EQ(order[1].first, 5u); // lower id wins the tie
+    EXPECT_EQ(order[2].first, 9u);
+}
+
+TEST(Quadrants, ClassifiesAroundMeans)
+{
+    PageProfile profile;
+    // hotness: 10, 10, 1, 1 (mean 5.5); avf: .9, .1, .9, .1 (mean .5)
+    for (int i = 0; i < 10; ++i) {
+        profile.recordAccess(0, false);
+        profile.recordAccess(1, false);
+    }
+    profile.recordAccess(2, false);
+    profile.recordAccess(3, false);
+    profile.setAvf(0, 0.9);
+    profile.setAvf(1, 0.1);
+    profile.setAvf(2, 0.9);
+    profile.setAvf(3, 0.1);
+
+    const auto counts = analyzeQuadrants(profile);
+    EXPECT_EQ(counts.hotHighRisk, 1u);
+    EXPECT_EQ(counts.hotLowRisk, 1u);
+    EXPECT_EQ(counts.coldHighRisk, 1u);
+    EXPECT_EQ(counts.coldLowRisk, 1u);
+    EXPECT_EQ(counts.total(), 4u);
+    EXPECT_DOUBLE_EQ(counts.hotLowRiskFraction(), 0.25);
+    EXPECT_DOUBLE_EQ(counts.hotnessThreshold, 5.5);
+    EXPECT_DOUBLE_EQ(counts.avfThreshold, 0.5);
+}
+
+TEST(Quadrants, EmptyProfile)
+{
+    const auto counts = analyzeQuadrants(PageProfile{});
+    EXPECT_EQ(counts.total(), 0u);
+    EXPECT_EQ(counts.hotLowRiskFraction(), 0.0);
+}
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers (src/common/stats).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace ramp
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+    EXPECT_EQ(stat.min(), 0.0);
+    EXPECT_EQ(stat.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat stat;
+    stat.add(5.0);
+    EXPECT_EQ(stat.count(), 1u);
+    EXPECT_EQ(stat.mean(), 5.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+    EXPECT_EQ(stat.min(), 5.0);
+    EXPECT_EQ(stat.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat stat;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    // Unbiased sample variance of the classic example is 32/7.
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(stat.min(), 2.0);
+    EXPECT_EQ(stat.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat stat;
+    stat.add(-3.0);
+    stat.add(3.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.min(), -3.0);
+    EXPECT_EQ(stat.max(), 3.0);
+}
+
+TEST(Pearson, PerfectPositive)
+{
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    const std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    const std::vector<double> ys = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero)
+{
+    const std::vector<double> xs = {1, 2, 3};
+    const std::vector<double> ys = {5, 5, 5};
+    EXPECT_EQ(pearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(Pearson, EmptyAndSingletonGiveZero)
+{
+    const std::vector<double> empty;
+    const std::vector<double> one = {1.0};
+    EXPECT_EQ(pearsonCorrelation(empty, empty), 0.0);
+    EXPECT_EQ(pearsonCorrelation(one, one), 0.0);
+}
+
+TEST(Pearson, KnownValue)
+{
+    const std::vector<double> xs = {1, 2, 3, 4};
+    const std::vector<double> ys = {1, 3, 2, 4};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 0.8, 1e-12);
+}
+
+TEST(Mean, Basics)
+{
+    const std::vector<double> xs = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    const std::vector<double> empty;
+    EXPECT_EQ(mean(empty), 0.0);
+}
+
+TEST(Histogram, BinsValuesCorrectly)
+{
+    Histogram histogram(0.0, 10.0, 5);
+    histogram.add(0.5);  // bin 0
+    histogram.add(3.0);  // bin 1
+    histogram.add(9.9);  // bin 4
+    EXPECT_EQ(histogram.binCount(0), 1u);
+    EXPECT_EQ(histogram.binCount(1), 1u);
+    EXPECT_EQ(histogram.binCount(4), 1u);
+    EXPECT_EQ(histogram.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram histogram(0.0, 10.0, 5);
+    histogram.add(-100.0);
+    histogram.add(100.0);
+    EXPECT_EQ(histogram.binCount(0), 1u);
+    EXPECT_EQ(histogram.binCount(4), 1u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram histogram(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(histogram.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(histogram.binHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(histogram.binLow(4), 8.0);
+    EXPECT_DOUBLE_EQ(histogram.binHigh(4), 10.0);
+}
+
+TEST(GeometricMean, Basics)
+{
+    const std::vector<double> xs = {1.0, 4.0};
+    EXPECT_NEAR(geometricMean(xs), 2.0, 1e-12);
+    const std::vector<double> same = {3.0, 3.0, 3.0};
+    EXPECT_NEAR(geometricMean(same), 3.0, 1e-12);
+    const std::vector<double> empty;
+    EXPECT_EQ(geometricMean(empty), 0.0);
+}
+
+} // namespace
+} // namespace ramp

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the benchmark registry, Table 2 mixes, and the address
+ * layout (src/trace/workload).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workload.hh"
+
+namespace ramp
+{
+namespace
+{
+
+TEST(Registry, AllHomogeneousProgramsExist)
+{
+    for (const char *name :
+         {"mcf", "lbm", "milc", "astar", "soplex", "libquantum",
+          "cactusADM", "xsbench", "lulesh"}) {
+        const auto &profile = benchmarkProfile(name);
+        EXPECT_EQ(profile.name, name);
+        EXPECT_GT(profile.mpki, 0.0);
+        EXPECT_GT(profile.requestsPerCore, 0u);
+        EXPECT_FALSE(profile.structures.empty());
+    }
+}
+
+TEST(Registry, MixOnlyProgramsExist)
+{
+    for (const char *name : {"omnetpp", "sphinx", "dealII",
+                             "leslie3d", "gcc", "GemsFDTD", "bzip",
+                             "bwaves"})
+        EXPECT_EQ(benchmarkProfile(name).name, name);
+}
+
+TEST(Registry, SeventeenProgramsTotal)
+{
+    EXPECT_EQ(allBenchmarkNames().size(), 17u);
+}
+
+TEST(Registry, StructureWeightsArePositive)
+{
+    for (const auto &name : allBenchmarkNames()) {
+        for (const auto &spec : benchmarkProfile(name).structures) {
+            EXPECT_GT(spec.weight, 0.0) << name << "/" << spec.name;
+            EXPECT_GE(spec.pages, 1u) << name << "/" << spec.name;
+            EXPECT_GE(spec.writeFraction, 0.0);
+            EXPECT_LE(spec.writeFraction, 1.0);
+        }
+    }
+}
+
+TEST(Registry, FootprintsAreReasonable)
+{
+    // Per-instance footprints should be in the scaled regime: a few
+    // hundred pages to a few thousand (DESIGN.md scaling).
+    for (const auto &name : allBenchmarkNames()) {
+        const auto pages = benchmarkProfile(name).footprintPages();
+        EXPECT_GE(pages, 200u) << name;
+        EXPECT_LE(pages, 5000u) << name;
+    }
+}
+
+TEST(Workloads, HomogeneousHasSixteenIdenticalCores)
+{
+    const auto spec = homogeneousWorkload("mcf");
+    EXPECT_EQ(spec.name, "mcf");
+    ASSERT_EQ(spec.coreBenchmarks.size(),
+              static_cast<std::size_t>(workloadCores));
+    for (const auto &bench : spec.coreBenchmarks)
+        EXPECT_EQ(bench, "mcf");
+}
+
+TEST(Workloads, MixesCoverSixteenCores)
+{
+    for (const char *name : {"mix1", "mix2", "mix3", "mix4", "mix5"}) {
+        const auto spec = mixWorkload(name);
+        EXPECT_EQ(spec.coreBenchmarks.size(),
+                  static_cast<std::size_t>(workloadCores))
+            << name;
+    }
+}
+
+TEST(Workloads, Mix1MatchesTable2)
+{
+    const auto spec = mixWorkload("mix1");
+    auto count = [&](const std::string &bench) {
+        return std::count(spec.coreBenchmarks.begin(),
+                          spec.coreBenchmarks.end(), bench);
+    };
+    EXPECT_EQ(count("mcf"), 3);
+    EXPECT_EQ(count("lbm"), 2);
+    EXPECT_EQ(count("milc"), 2);
+    EXPECT_EQ(count("omnetpp"), 1);
+    EXPECT_EQ(count("astar"), 2);
+    EXPECT_EQ(count("sphinx"), 1);
+    EXPECT_EQ(count("soplex"), 2);
+    EXPECT_EQ(count("libquantum"), 2);
+    EXPECT_EQ(count("gcc"), 1);
+}
+
+TEST(Workloads, Mix5MatchesTable2)
+{
+    const auto spec = mixWorkload("mix5");
+    auto count = [&](const std::string &bench) {
+        return std::count(spec.coreBenchmarks.begin(),
+                          spec.coreBenchmarks.end(), bench);
+    };
+    EXPECT_EQ(count("dealII"), 3);
+    EXPECT_EQ(count("leslie3d"), 3);
+    EXPECT_EQ(count("GemsFDTD"), 1);
+    EXPECT_EQ(count("bzip"), 3);
+    EXPECT_EQ(count("bwaves"), 1);
+    EXPECT_EQ(count("cactusADM"), 5);
+}
+
+TEST(Workloads, StandardSetHasFourteenEntries)
+{
+    const auto specs = standardWorkloads();
+    EXPECT_EQ(specs.size(), 14u);
+    std::set<std::string> names;
+    for (const auto &spec : specs)
+        names.insert(spec.name);
+    EXPECT_EQ(names.size(), 14u);
+    EXPECT_TRUE(names.count("astar"));
+    EXPECT_TRUE(names.count("mix5"));
+}
+
+TEST(Workloads, MotivationSetMatchesFigure1)
+{
+    const auto specs = motivationWorkloads();
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].name, "astar");
+    EXPECT_EQ(specs[1].name, "cactusADM");
+    EXPECT_EQ(specs[2].name, "mix1");
+}
+
+TEST(Layout, RangesAreContiguousAndDisjoint)
+{
+    const auto layout = buildLayout(mixWorkload("mix1"));
+    ASSERT_FALSE(layout.ranges.empty());
+    PageId expected = 0;
+    for (const auto &range : layout.ranges) {
+        EXPECT_EQ(range.firstPage, expected);
+        EXPECT_GT(range.pages, 0u);
+        expected = range.endPage();
+    }
+    EXPECT_EQ(layout.totalPages, expected);
+}
+
+TEST(Layout, RangeOfFindsOwner)
+{
+    const auto layout = buildLayout(homogeneousWorkload("mcf"));
+    for (const auto &range : layout.ranges) {
+        const int idx = layout.rangeOf(range.firstPage);
+        ASSERT_GE(idx, 0);
+        EXPECT_EQ(layout.ranges[static_cast<std::size_t>(idx)]
+                      .firstPage,
+                  range.firstPage);
+        const int last = layout.rangeOf(range.endPage() - 1);
+        EXPECT_EQ(last, idx);
+    }
+    EXPECT_EQ(layout.rangeOf(layout.totalPages), -1);
+    EXPECT_EQ(layout.rangeOf(layout.totalPages + 100), -1);
+}
+
+TEST(Layout, EveryCoreHasItsProgramStructures)
+{
+    const auto spec = mixWorkload("mix2");
+    const auto layout = buildLayout(spec);
+    for (int core = 0; core < workloadCores; ++core) {
+        const auto &profile = benchmarkProfile(
+            spec.coreBenchmarks[static_cast<std::size_t>(core)]);
+        std::size_t count = 0;
+        for (const auto &range : layout.ranges)
+            if (range.core == core) {
+                EXPECT_EQ(range.benchmark, profile.name);
+                ++count;
+            }
+        EXPECT_EQ(count, profile.structures.size());
+    }
+}
+
+TEST(WorkloadsDeathTest, UnknownNamesAreFatal)
+{
+    EXPECT_EXIT(benchmarkProfile("nosuch"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+    EXPECT_EXIT(mixWorkload("mix9"), ::testing::ExitedWithCode(1),
+                "unknown mix");
+}
+
+} // namespace
+} // namespace ramp
