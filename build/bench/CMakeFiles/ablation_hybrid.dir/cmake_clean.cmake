@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid.dir/ablation_hybrid.cpp.o"
+  "CMakeFiles/ablation_hybrid.dir/ablation_hybrid.cpp.o.d"
+  "ablation_hybrid"
+  "ablation_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

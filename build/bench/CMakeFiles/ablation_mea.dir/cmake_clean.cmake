@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mea.dir/ablation_mea.cpp.o"
+  "CMakeFiles/ablation_mea.dir/ablation_mea.cpp.o.d"
+  "ablation_mea"
+  "ablation_mea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thresholds.dir/ablation_thresholds.cpp.o"
+  "CMakeFiles/ablation_thresholds.dir/ablation_thresholds.cpp.o.d"
+  "ablation_thresholds"
+  "ablation_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_probe.dir/calibration_probe.cpp.o"
+  "CMakeFiles/calibration_probe.dir/calibration_probe.cpp.o.d"
+  "calibration_probe"
+  "calibration_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultsim_rates.dir/faultsim_rates.cpp.o"
+  "CMakeFiles/faultsim_rates.dir/faultsim_rates.cpp.o.d"
+  "faultsim_rates"
+  "faultsim_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultsim_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pareto.dir/fig01_pareto.cpp.o"
+  "CMakeFiles/fig01_pareto.dir/fig01_pareto.cpp.o.d"
+  "fig01_pareto"
+  "fig01_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

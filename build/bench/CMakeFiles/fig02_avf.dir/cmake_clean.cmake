@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_avf.dir/fig02_avf.cpp.o"
+  "CMakeFiles/fig02_avf.dir/fig02_avf.cpp.o.d"
+  "fig02_avf"
+  "fig02_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

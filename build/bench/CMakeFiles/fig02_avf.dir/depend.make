@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_avf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_quadrants.dir/fig04_quadrants.cpp.o"
+  "CMakeFiles/fig04_quadrants.dir/fig04_quadrants.cpp.o.d"
+  "fig04_quadrants"
+  "fig04_quadrants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_quadrants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_perf_static.dir/fig05_perf_static.cpp.o"
+  "CMakeFiles/fig05_perf_static.dir/fig05_perf_static.cpp.o.d"
+  "fig05_perf_static"
+  "fig05_perf_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_perf_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

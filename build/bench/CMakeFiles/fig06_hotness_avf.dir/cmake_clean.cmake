@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_hotness_avf.dir/fig06_hotness_avf.cpp.o"
+  "CMakeFiles/fig06_hotness_avf.dir/fig06_hotness_avf.cpp.o.d"
+  "fig06_hotness_avf"
+  "fig06_hotness_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_hotness_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_rel_static.dir/fig07_rel_static.cpp.o"
+  "CMakeFiles/fig07_rel_static.dir/fig07_rel_static.cpp.o.d"
+  "fig07_rel_static"
+  "fig07_rel_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_rel_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_balanced.dir/fig08_balanced.cpp.o"
+  "CMakeFiles/fig08_balanced.dir/fig08_balanced.cpp.o.d"
+  "fig08_balanced"
+  "fig08_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_wr_corr.dir/fig09_wr_corr.cpp.o"
+  "CMakeFiles/fig09_wr_corr.dir/fig09_wr_corr.cpp.o.d"
+  "fig09_wr_corr"
+  "fig09_wr_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_wr_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

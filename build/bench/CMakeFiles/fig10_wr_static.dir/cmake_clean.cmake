@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_wr_static.dir/fig10_wr_static.cpp.o"
+  "CMakeFiles/fig10_wr_static.dir/fig10_wr_static.cpp.o.d"
+  "fig10_wr_static"
+  "fig10_wr_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_wr_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

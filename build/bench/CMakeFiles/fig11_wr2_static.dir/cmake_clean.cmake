@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_wr2_static.dir/fig11_wr2_static.cpp.o"
+  "CMakeFiles/fig11_wr2_static.dir/fig11_wr2_static.cpp.o.d"
+  "fig11_wr2_static"
+  "fig11_wr2_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_wr2_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_perf_migration.dir/fig12_perf_migration.cpp.o"
+  "CMakeFiles/fig12_perf_migration.dir/fig12_perf_migration.cpp.o.d"
+  "fig12_perf_migration"
+  "fig12_perf_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_perf_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

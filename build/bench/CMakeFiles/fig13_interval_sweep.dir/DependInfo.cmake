@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_interval_sweep.cpp" "bench/CMakeFiles/fig13_interval_sweep.dir/fig13_interval_sweep.cpp.o" "gcc" "bench/CMakeFiles/fig13_interval_sweep.dir/fig13_interval_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hma/CMakeFiles/ramp_hma.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ramp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/ramp_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/ramp_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotation/CMakeFiles/ramp_annotation.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ramp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/ramp_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ramp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

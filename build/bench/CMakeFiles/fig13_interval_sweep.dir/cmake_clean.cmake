@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_interval_sweep.dir/fig13_interval_sweep.cpp.o"
+  "CMakeFiles/fig13_interval_sweep.dir/fig13_interval_sweep.cpp.o.d"
+  "fig13_interval_sweep"
+  "fig13_interval_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_interval_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

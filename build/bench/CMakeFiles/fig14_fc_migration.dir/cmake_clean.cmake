@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_fc_migration.dir/fig14_fc_migration.cpp.o"
+  "CMakeFiles/fig14_fc_migration.dir/fig14_fc_migration.cpp.o.d"
+  "fig14_fc_migration"
+  "fig14_fc_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_fc_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cc_migration.dir/fig15_cc_migration.cpp.o"
+  "CMakeFiles/fig15_cc_migration.dir/fig15_cc_migration.cpp.o.d"
+  "fig15_cc_migration"
+  "fig15_cc_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cc_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

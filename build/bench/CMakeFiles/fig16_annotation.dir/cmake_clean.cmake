@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_annotation.dir/fig16_annotation.cpp.o"
+  "CMakeFiles/fig16_annotation.dir/fig16_annotation.cpp.o.d"
+  "fig16_annotation"
+  "fig16_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_annotation_count.dir/fig17_annotation_count.cpp.o"
+  "CMakeFiles/fig17_annotation_count.dir/fig17_annotation_count.cpp.o.d"
+  "fig17_annotation_count"
+  "fig17_annotation_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_annotation_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_summary.dir/table3_summary.cpp.o"
+  "CMakeFiles/table3_summary.dir/table3_summary.cpp.o.d"
+  "table3_summary"
+  "table3_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

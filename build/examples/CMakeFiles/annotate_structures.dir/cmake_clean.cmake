@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_structures.dir/annotate_structures.cpp.o"
+  "CMakeFiles/annotate_structures.dir/annotate_structures.cpp.o.d"
+  "annotate_structures"
+  "annotate_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

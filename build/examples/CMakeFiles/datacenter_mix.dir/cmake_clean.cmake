@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_mix.dir/datacenter_mix.cpp.o"
+  "CMakeFiles/datacenter_mix.dir/datacenter_mix.cpp.o.d"
+  "datacenter_mix"
+  "datacenter_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_tour.dir/migration_tour.cpp.o"
+  "CMakeFiles/migration_tour.dir/migration_tour.cpp.o.d"
+  "migration_tour"
+  "migration_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_cli.dir/ramp_cli.cpp.o"
+  "CMakeFiles/ramp_cli.dir/ramp_cli.cpp.o.d"
+  "ramp_cli"
+  "ramp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

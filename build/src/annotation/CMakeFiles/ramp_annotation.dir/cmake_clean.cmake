@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_annotation.dir/annotation.cc.o"
+  "CMakeFiles/ramp_annotation.dir/annotation.cc.o.d"
+  "libramp_annotation.a"
+  "libramp_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

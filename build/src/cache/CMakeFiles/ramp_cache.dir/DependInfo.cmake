@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/ramp_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/ramp_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/filter.cc" "src/cache/CMakeFiles/ramp_cache.dir/filter.cc.o" "gcc" "src/cache/CMakeFiles/ramp_cache.dir/filter.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/ramp_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/ramp_cache.dir/hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ramp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ramp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

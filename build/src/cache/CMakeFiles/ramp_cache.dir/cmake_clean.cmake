@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_cache.dir/cache.cc.o"
+  "CMakeFiles/ramp_cache.dir/cache.cc.o.d"
+  "CMakeFiles/ramp_cache.dir/filter.cc.o"
+  "CMakeFiles/ramp_cache.dir/filter.cc.o.d"
+  "CMakeFiles/ramp_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/ramp_cache.dir/hierarchy.cc.o.d"
+  "libramp_cache.a"
+  "libramp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_common.dir/logging.cc.o"
+  "CMakeFiles/ramp_common.dir/logging.cc.o.d"
+  "CMakeFiles/ramp_common.dir/rng.cc.o"
+  "CMakeFiles/ramp_common.dir/rng.cc.o.d"
+  "CMakeFiles/ramp_common.dir/stats.cc.o"
+  "CMakeFiles/ramp_common.dir/stats.cc.o.d"
+  "CMakeFiles/ramp_common.dir/table.cc.o"
+  "CMakeFiles/ramp_common.dir/table.cc.o.d"
+  "libramp_common.a"
+  "libramp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

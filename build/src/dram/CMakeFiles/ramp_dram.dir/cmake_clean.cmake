@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_dram.dir/config.cc.o"
+  "CMakeFiles/ramp_dram.dir/config.cc.o.d"
+  "CMakeFiles/ramp_dram.dir/memory.cc.o"
+  "CMakeFiles/ramp_dram.dir/memory.cc.o.d"
+  "libramp_dram.a"
+  "libramp_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_hma.dir/core_model.cc.o"
+  "CMakeFiles/ramp_hma.dir/core_model.cc.o.d"
+  "CMakeFiles/ramp_hma.dir/experiment.cc.o"
+  "CMakeFiles/ramp_hma.dir/experiment.cc.o.d"
+  "CMakeFiles/ramp_hma.dir/system.cc.o"
+  "CMakeFiles/ramp_hma.dir/system.cc.o.d"
+  "libramp_hma.a"
+  "libramp_hma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_hma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

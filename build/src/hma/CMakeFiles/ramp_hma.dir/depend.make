@@ -1,0 +1,2 @@
+# Empty dependencies file for ramp_hma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migration/counters.cc" "src/migration/CMakeFiles/ramp_migration.dir/counters.cc.o" "gcc" "src/migration/CMakeFiles/ramp_migration.dir/counters.cc.o.d"
+  "/root/repo/src/migration/engine.cc" "src/migration/CMakeFiles/ramp_migration.dir/engine.cc.o" "gcc" "src/migration/CMakeFiles/ramp_migration.dir/engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ramp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/ramp_placement.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

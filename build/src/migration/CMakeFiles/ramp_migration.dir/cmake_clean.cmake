@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_migration.dir/counters.cc.o"
+  "CMakeFiles/ramp_migration.dir/counters.cc.o.d"
+  "CMakeFiles/ramp_migration.dir/engine.cc.o"
+  "CMakeFiles/ramp_migration.dir/engine.cc.o.d"
+  "libramp_migration.a"
+  "libramp_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/map.cc" "src/placement/CMakeFiles/ramp_placement.dir/map.cc.o" "gcc" "src/placement/CMakeFiles/ramp_placement.dir/map.cc.o.d"
+  "/root/repo/src/placement/policies.cc" "src/placement/CMakeFiles/ramp_placement.dir/policies.cc.o" "gcc" "src/placement/CMakeFiles/ramp_placement.dir/policies.cc.o.d"
+  "/root/repo/src/placement/profile.cc" "src/placement/CMakeFiles/ramp_placement.dir/profile.cc.o" "gcc" "src/placement/CMakeFiles/ramp_placement.dir/profile.cc.o.d"
+  "/root/repo/src/placement/quadrant.cc" "src/placement/CMakeFiles/ramp_placement.dir/quadrant.cc.o" "gcc" "src/placement/CMakeFiles/ramp_placement.dir/quadrant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ramp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_placement.dir/map.cc.o"
+  "CMakeFiles/ramp_placement.dir/map.cc.o.d"
+  "CMakeFiles/ramp_placement.dir/policies.cc.o"
+  "CMakeFiles/ramp_placement.dir/policies.cc.o.d"
+  "CMakeFiles/ramp_placement.dir/profile.cc.o"
+  "CMakeFiles/ramp_placement.dir/profile.cc.o.d"
+  "CMakeFiles/ramp_placement.dir/quadrant.cc.o"
+  "CMakeFiles/ramp_placement.dir/quadrant.cc.o.d"
+  "libramp_placement.a"
+  "libramp_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/avf.cc" "src/reliability/CMakeFiles/ramp_reliability.dir/avf.cc.o" "gcc" "src/reliability/CMakeFiles/ramp_reliability.dir/avf.cc.o.d"
+  "/root/repo/src/reliability/ecc.cc" "src/reliability/CMakeFiles/ramp_reliability.dir/ecc.cc.o" "gcc" "src/reliability/CMakeFiles/ramp_reliability.dir/ecc.cc.o.d"
+  "/root/repo/src/reliability/fault.cc" "src/reliability/CMakeFiles/ramp_reliability.dir/fault.cc.o" "gcc" "src/reliability/CMakeFiles/ramp_reliability.dir/fault.cc.o.d"
+  "/root/repo/src/reliability/faultsim.cc" "src/reliability/CMakeFiles/ramp_reliability.dir/faultsim.cc.o" "gcc" "src/reliability/CMakeFiles/ramp_reliability.dir/faultsim.cc.o.d"
+  "/root/repo/src/reliability/fit.cc" "src/reliability/CMakeFiles/ramp_reliability.dir/fit.cc.o" "gcc" "src/reliability/CMakeFiles/ramp_reliability.dir/fit.cc.o.d"
+  "/root/repo/src/reliability/ser.cc" "src/reliability/CMakeFiles/ramp_reliability.dir/ser.cc.o" "gcc" "src/reliability/CMakeFiles/ramp_reliability.dir/ser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ramp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

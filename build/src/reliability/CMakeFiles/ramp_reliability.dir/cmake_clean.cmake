@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_reliability.dir/avf.cc.o"
+  "CMakeFiles/ramp_reliability.dir/avf.cc.o.d"
+  "CMakeFiles/ramp_reliability.dir/ecc.cc.o"
+  "CMakeFiles/ramp_reliability.dir/ecc.cc.o.d"
+  "CMakeFiles/ramp_reliability.dir/fault.cc.o"
+  "CMakeFiles/ramp_reliability.dir/fault.cc.o.d"
+  "CMakeFiles/ramp_reliability.dir/faultsim.cc.o"
+  "CMakeFiles/ramp_reliability.dir/faultsim.cc.o.d"
+  "CMakeFiles/ramp_reliability.dir/fit.cc.o"
+  "CMakeFiles/ramp_reliability.dir/fit.cc.o.d"
+  "CMakeFiles/ramp_reliability.dir/ser.cc.o"
+  "CMakeFiles/ramp_reliability.dir/ser.cc.o.d"
+  "libramp_reliability.a"
+  "libramp_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

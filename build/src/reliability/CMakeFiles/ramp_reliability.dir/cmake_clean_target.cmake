@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libramp_reliability.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_trace.dir/generator.cc.o"
+  "CMakeFiles/ramp_trace.dir/generator.cc.o.d"
+  "CMakeFiles/ramp_trace.dir/trace.cc.o"
+  "CMakeFiles/ramp_trace.dir/trace.cc.o.d"
+  "CMakeFiles/ramp_trace.dir/workload.cc.o"
+  "CMakeFiles/ramp_trace.dir/workload.cc.o.d"
+  "libramp_trace.a"
+  "libramp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annotation.dir/test_annotation.cc.o"
+  "CMakeFiles/test_annotation.dir/test_annotation.cc.o.d"
+  "test_annotation"
+  "test_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

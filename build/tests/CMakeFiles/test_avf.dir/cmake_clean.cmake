@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avf.dir/test_avf.cc.o"
+  "CMakeFiles/test_avf.dir/test_avf.cc.o.d"
+  "test_avf"
+  "test_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avf_reference.dir/test_avf_reference.cc.o"
+  "CMakeFiles/test_avf_reference.dir/test_avf_reference.cc.o.d"
+  "test_avf_reference"
+  "test_avf_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avf_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_reference.dir/test_cache_reference.cc.o"
+  "CMakeFiles/test_cache_reference.dir/test_cache_reference.cc.o.d"
+  "test_cache_reference"
+  "test_cache_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

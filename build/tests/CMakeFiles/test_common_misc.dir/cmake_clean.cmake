@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_misc.dir/test_common_misc.cc.o"
+  "CMakeFiles/test_common_misc.dir/test_common_misc.cc.o.d"
+  "test_common_misc"
+  "test_common_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

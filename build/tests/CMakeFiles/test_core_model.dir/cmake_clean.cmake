@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_model.dir/test_core_model.cc.o"
+  "CMakeFiles/test_core_model.dir/test_core_model.cc.o.d"
+  "test_core_model"
+  "test_core_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_properties.dir/test_dram_properties.cc.o"
+  "CMakeFiles/test_dram_properties.dir/test_dram_properties.cc.o.d"
+  "test_dram_properties"
+  "test_dram_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

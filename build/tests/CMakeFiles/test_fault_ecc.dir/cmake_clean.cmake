@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_ecc.dir/test_fault_ecc.cc.o"
+  "CMakeFiles/test_fault_ecc.dir/test_fault_ecc.cc.o.d"
+  "test_fault_ecc"
+  "test_fault_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

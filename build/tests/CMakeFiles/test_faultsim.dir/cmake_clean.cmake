@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faultsim.dir/test_faultsim.cc.o"
+  "CMakeFiles/test_faultsim.dir/test_faultsim.cc.o.d"
+  "test_faultsim"
+  "test_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generator_semantics.dir/test_generator_semantics.cc.o"
+  "CMakeFiles/test_generator_semantics.dir/test_generator_semantics.cc.o.d"
+  "test_generator_semantics"
+  "test_generator_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generator_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement_fuzz.dir/test_placement_fuzz.cc.o"
+  "CMakeFiles/test_placement_fuzz.dir/test_placement_fuzz.cc.o.d"
+  "test_placement_fuzz"
+  "test_placement_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

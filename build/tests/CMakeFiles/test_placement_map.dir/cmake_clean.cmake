@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement_map.dir/test_placement_map.cc.o"
+  "CMakeFiles/test_placement_map.dir/test_placement_map.cc.o.d"
+  "test_placement_map"
+  "test_placement_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
