@@ -15,42 +15,82 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness("ablation_mea", argc, argv);
+    const SystemConfig &config = harness.config();
+
     const std::vector<WorkloadSpec> specs = {
         homogeneousWorkload("cactusADM"), mixWorkload("mix1")};
-    const auto profiled = profileAll(config, specs);
+    const auto profiled = harness.profileAll(specs);
+
+    // The perf-focused migration baseline does not depend on the
+    // swept MEA parameters: one pass per workload.
+    const auto perf = harness.mapWorkloads(
+        profiled, [&](const ProfiledWorkloadPtr &wl) {
+            return runDynamic(config, wl->data,
+                              DynamicScheme::PerfFocused,
+                              wl->profile());
+        });
+    for (std::size_t w = 0; w < profiled.size(); ++w)
+        harness.record(profiled[w]->name(), perf[w]);
+
+    const std::vector<std::size_t> entry_counts = {8, 16, 32, 64};
+    const std::vector<std::uint32_t> caps = {4, 8, 16};
+    struct Point
+    {
+        std::size_t entries;
+        std::uint32_t cap;
+        std::size_t workload;
+    };
+    std::vector<Point> points;
+    for (const std::size_t entries : entry_counts)
+        for (const std::uint32_t cap : caps)
+            for (std::size_t w = 0; w < profiled.size(); ++w)
+                points.push_back({entries, cap, w});
+
+    struct Pass
+    {
+        SimResult result;
+        double remapHitRatio = 0;
+    };
+    const auto passes =
+        harness.pool().map(points, [&](const Point &point) {
+            const auto &wl = *profiled[point.workload];
+            CrossCounterMigration engine(
+                config.meaIntervalCycles, config.fcPerMea(),
+                point.entries, point.cap,
+                config.fcMigrationCapPages);
+            Pass out;
+            out.result = runWithEngine(config, wl.data, engine,
+                                       wl.profile());
+            out.result.label += "@mea" +
+                                std::to_string(point.entries) + "x" +
+                                std::to_string(point.cap);
+            out.remapHitRatio = engine.remapCache().hitRatio();
+            return out;
+        });
 
     TextTable table({"MEA entries", "promo cap", "workload",
                      "IPC vs perf-mig", "SER reduction",
                      "remap hit ratio"});
-
-    for (const std::size_t entries : {8UL, 16UL, 32UL, 64UL}) {
-        for (const std::uint32_t cap : {4U, 8U, 16U}) {
-            for (const auto &wl : profiled) {
-                const auto perf = runDynamic(
-                    config, wl.data, DynamicScheme::PerfFocused,
-                    wl.profile());
-                CrossCounterMigration engine(
-                    config.meaIntervalCycles, config.fcPerMea(),
-                    entries, cap, config.fcMigrationCapPages);
-                const auto result = runWithEngine(
-                    config, wl.data, engine, wl.profile());
-                table.addRow({
-                    TextTable::num(
-                        static_cast<std::uint64_t>(entries)),
-                    TextTable::num(static_cast<std::uint64_t>(cap)),
-                    wl.name(),
-                    TextTable::ratio(result.ipc / perf.ipc),
-                    TextTable::ratio(perf.ser / result.ser, 1),
-                    TextTable::percent(
-                        engine.remapCache().hitRatio()),
-                });
-            }
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &point = points[i];
+        const auto &wl = *profiled[point.workload];
+        const auto &result =
+            harness.record(wl.name(), passes[i].result);
+        table.addRow({
+            TextTable::num(
+                static_cast<std::uint64_t>(point.entries)),
+            TextTable::num(static_cast<std::uint64_t>(point.cap)),
+            wl.name(),
+            TextTable::ratio(result.ipc / perf[point.workload].ipc),
+            TextTable::ratio(perf[point.workload].ser / result.ser,
+                             1),
+            TextTable::percent(passes[i].remapHitRatio),
+        });
     }
     table.print(std::cout,
                 "Ablation: MEA entries x promotion budget");
-    return 0;
+    return harness.finish();
 }

@@ -17,43 +17,77 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig base = SystemConfig::scaledDefault();
+    Harness harness("ablation_thresholds", argc, argv);
+    const SystemConfig base = harness.config();
+
     const std::vector<WorkloadSpec> specs = {
         homogeneousWorkload("mcf"), homogeneousWorkload("lulesh"),
         mixWorkload("mix1")};
-    const auto profiled = profileAll(base, specs);
+    const auto profiled = harness.profileAll(specs);
+
+    const std::vector<Cycle> intervals = {1'600'000, 3'200'000,
+                                          6'400'000};
+    const std::vector<std::uint32_t> caps = {64, 256, 1024};
+    struct Point
+    {
+        Cycle interval;
+        std::uint32_t cap;
+        std::size_t workload;
+    };
+    std::vector<Point> points;
+    for (const Cycle interval : intervals)
+        for (const std::uint32_t cap : caps)
+            for (std::size_t w = 0; w < profiled.size(); ++w)
+                points.push_back({interval, cap, w});
+
+    // The interval/cap change the perf-focused baseline too, so both
+    // passes run per design point.
+    struct Pass
+    {
+        SimResult perf;
+        SimResult result;
+    };
+    const auto passes =
+        harness.pool().map(points, [&](const Point &point) {
+            SystemConfig config = base;
+            config.fcIntervalCycles = point.interval;
+            config.fcMigrationCapPages = point.cap;
+            const auto &wl = *profiled[point.workload];
+
+            Pass out;
+            out.perf = runDynamic(config, wl.data,
+                                  DynamicScheme::PerfFocused,
+                                  wl.profile());
+            FcReliabilityMigration engine(point.interval, point.cap);
+            out.result = runWithEngine(config, wl.data, engine,
+                                       wl.profile());
+            const std::string suffix =
+                "@fc" + std::to_string(point.interval) + "x" +
+                std::to_string(point.cap);
+            out.perf.label += suffix;
+            out.result.label += suffix;
+            return out;
+        });
 
     TextTable table({"interval", "cap", "workload",
                      "IPC vs perf-mig", "SER reduction"});
-
-    for (const Cycle interval : {1'600'000ULL, 3'200'000ULL,
-                                 6'400'000ULL}) {
-        for (const std::uint32_t cap : {64U, 256U, 1024U}) {
-            for (const auto &wl : profiled) {
-                SystemConfig config = base;
-                config.fcIntervalCycles = interval;
-                config.fcMigrationCapPages = cap;
-
-                const auto perf = runDynamic(
-                    config, wl.data, DynamicScheme::PerfFocused,
-                    wl.profile());
-                FcReliabilityMigration engine(interval, cap);
-                const auto result = runWithEngine(
-                    config, wl.data, engine, wl.profile());
-                table.addRow({
-                    TextTable::num(
-                        static_cast<std::uint64_t>(interval)),
-                    TextTable::num(static_cast<std::uint64_t>(cap)),
-                    wl.name(),
-                    TextTable::ratio(result.ipc / perf.ipc),
-                    TextTable::ratio(perf.ser / result.ser, 1),
-                });
-            }
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &point = points[i];
+        const auto &wl = *profiled[point.workload];
+        const auto &perf = harness.record(wl.name(), passes[i].perf);
+        const auto &result =
+            harness.record(wl.name(), passes[i].result);
+        table.addRow({
+            TextTable::num(static_cast<std::uint64_t>(point.interval)),
+            TextTable::num(static_cast<std::uint64_t>(point.cap)),
+            wl.name(),
+            TextTable::ratio(result.ipc / perf.ipc),
+            TextTable::ratio(perf.ser / result.ser, 1),
+        });
     }
     table.print(std::cout,
                 "Ablation: FC migration interval x budget");
-    return 0;
+    return harness.finish();
 }

@@ -1,11 +1,15 @@
 /**
  * @file
- * Shared helpers for the figure/table harness binaries.
+ * Shared context for the figure/table harness binaries.
  *
- * Every bench binary regenerates one paper table or figure: it runs
- * the required simulation passes and prints the same rows/series the
- * paper reports (see DESIGN.md Section 3 for the experiment index
- * and EXPERIMENTS.md for paper-vs-measured values).
+ * Every bench binary regenerates one paper table or figure on the
+ * src/runner subsystem: a Harness parses the shared flags (--jobs,
+ * --json, --cache-dir), profiles workloads through the process-wide
+ * (and optionally on-disk) profile cache, fans the policy passes out
+ * over the thread pool with deterministic, ordered results, and
+ * records every pass into the JSON report. See DESIGN.md Section 3
+ * for the experiment index and EXPERIMENTS.md for paper-vs-measured
+ * values.
  */
 
 #ifndef RAMP_BENCH_BENCH_COMMON_HH
@@ -17,50 +21,16 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "hma/experiment.hh"
+#include "runner/harness.hh"
 
 namespace ramp::bench
 {
 
-/** A profiled workload: traces plus the DDR-only baseline pass. */
-struct ProfiledWorkload
-{
-    WorkloadData data;
-
-    /** DDR-only pass; its profile drives the static policies. */
-    SimResult base;
-
-    const PageProfile &profile() const { return base.profile; }
-    const std::string &name() const { return data.spec.name; }
-};
-
-/** Run the profiling pass for one workload. */
-inline ProfiledWorkload
-profileWorkload(const SystemConfig &config, const WorkloadSpec &spec)
-{
-    ProfiledWorkload out;
-    out.data = prepareWorkload(spec);
-    out.base = runDdrOnly(config, out.data);
-    return out;
-}
-
-/** Profile every workload in a set. */
-inline std::vector<ProfiledWorkload>
-profileAll(const SystemConfig &config,
-           const std::vector<WorkloadSpec> &specs)
-{
-    std::vector<ProfiledWorkload> out;
-    out.reserve(specs.size());
-    for (const auto &spec : specs)
-        out.push_back(profileWorkload(config, spec));
-    return out;
-}
-
-/** Arithmetic mean of a vector of ratios. */
-inline double
-meanRatio(const std::vector<double> &ratios)
-{
-    return mean(std::span<const double>(ratios));
-}
+using runner::Harness;
+using runner::ProfiledWorkload;
+using runner::ProfiledWorkloadPtr;
+using runner::RatioColumn;
+using runner::meanRatio;
 
 } // namespace ramp::bench
 

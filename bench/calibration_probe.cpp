@@ -9,34 +9,50 @@
  * the calibration targets are measured.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <vector>
 
-#include "common/stats.hh"
-#include "common/table.hh"
-#include "hma/experiment.hh"
+#include "bench_common.hh"
 #include "placement/quadrant.hh"
 
 using namespace ramp;
+using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness("calibration_probe", argc, argv);
+    const SystemConfig &config = harness.config();
+
+    const auto profiled = harness.profileAll(standardWorkloads());
+
+    struct Passes
+    {
+        SimResult perf;
+        SimResult mig;
+    };
+    const auto passes = harness.mapWorkloads(
+        profiled, [&](const ProfiledWorkloadPtr &wl) {
+            Passes out;
+            out.perf = runStaticPolicy(config, wl->data,
+                                       StaticPolicy::PerfFocused,
+                                       wl->profile());
+            out.mig =
+                runDynamic(config, wl->data,
+                           DynamicScheme::PerfFocused, wl->profile());
+            return out;
+        });
 
     TextTable table({"workload", "pages", "AVF", "MPKI", "IPCddr",
                      "IPCperf", "SERperf", "hot&low", "r(h,a)",
                      "r(wr,a)", "mig/int", "ints"});
 
-    for (const auto &spec : standardWorkloads()) {
-        const WorkloadData data = prepareWorkload(spec);
-        const SimResult base = runDdrOnly(config, data);
-        const PageProfile &profile = base.profile;
-
-        const SimResult perf = runStaticPolicy(
-            config, data, StaticPolicy::PerfFocused, profile);
-        const SimResult mig = runDynamic(
-            config, data, DynamicScheme::PerfFocused, profile);
+    for (std::size_t i = 0; i < profiled.size(); ++i) {
+        const auto &wl = *profiled[i];
+        const PageProfile &profile = wl.profile();
+        const auto &perf = harness.record(wl.name(), passes[i].perf);
+        const auto &mig = harness.record(wl.name(), passes[i].mig);
 
         const auto quadrants = analyzeQuadrants(profile);
 
@@ -51,14 +67,14 @@ main()
             static_cast<double>(mig.makespan) /
             static_cast<double>(config.fcIntervalCycles);
         table.addRow({
-            spec.name,
+            wl.name(),
             TextTable::num(
                 static_cast<std::uint64_t>(profile.footprintPages())),
-            TextTable::percent(base.memoryAvf),
-            TextTable::num(base.mpki, 1),
-            TextTable::num(base.ipc, 2),
-            TextTable::ratio(perf.ipc / base.ipc),
-            TextTable::ratio(perf.ser / base.ser, 1),
+            TextTable::percent(wl.base.memoryAvf),
+            TextTable::num(wl.base.mpki, 1),
+            TextTable::num(wl.base.ipc, 2),
+            TextTable::ratio(perf.ipc / wl.base.ipc),
+            TextTable::ratio(perf.ser / wl.base.ser, 1),
             TextTable::percent(quadrants.hotLowRiskFraction()),
             TextTable::num(pearsonCorrelation(hot, avf), 2),
             TextTable::num(pearsonCorrelation(wr, avf), 2),
@@ -69,5 +85,5 @@ main()
         });
     }
     table.print(std::cout, "calibration probe (DESIGN.md Section 5)");
-    return 0;
+    return harness.finish();
 }

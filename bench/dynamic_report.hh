@@ -5,7 +5,8 @@
  * Both figures evaluate a reliability-aware migration scheme over
  * every workload and report IPC and SER relative to the
  * performance-focused migration baseline (the dynamic state of the
- * art, Section 6.1).
+ * art, Section 6.1). The per-workload pass pairs fan out across the
+ * harness thread pool.
  */
 
 #ifndef RAMP_BENCH_DYNAMIC_REPORT_HH
@@ -22,41 +23,58 @@ namespace ramp::bench
 
 /** Run one dynamic scheme over all workloads, print figure rows. */
 inline int
-reportDynamicScheme(DynamicScheme scheme, const std::string &title)
+reportDynamicScheme(DynamicScheme scheme, const std::string &title,
+                    const std::string &tool, int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness(tool, argc, argv);
+    const SystemConfig &config = harness.config();
+    const auto profiled = harness.profileAll(standardWorkloads());
+
+    struct Passes
+    {
+        SimResult perfMig;
+        SimResult result;
+    };
+    const auto passes = harness.mapWorkloads(
+        profiled, [&](const ProfiledWorkloadPtr &wl) {
+            Passes out;
+            out.perfMig =
+                runDynamic(config, wl->data,
+                           DynamicScheme::PerfFocused, wl->profile());
+            out.result =
+                runDynamic(config, wl->data, scheme, wl->profile());
+            return out;
+        });
 
     TextTable table({"workload", "IPC vs perf-migration",
                      "SER reduction vs perf-migration",
                      "SER vs DDR-only", "pages moved"});
-    std::vector<double> ipc_ratios, ser_reductions;
+    RatioColumn ipc_ratios, ser_reductions;
 
-    for (const auto &spec : standardWorkloads()) {
-        const auto wl = profileWorkload(config, spec);
-        const auto perf_mig = runDynamic(
-            config, wl.data, DynamicScheme::PerfFocused, wl.profile());
-        const auto result =
-            runDynamic(config, wl.data, scheme, wl.profile());
-        const double ipc_ratio = result.ipc / perf_mig.ipc;
-        const double ser_reduction = perf_mig.ser / result.ser;
-        ipc_ratios.push_back(ipc_ratio);
-        ser_reductions.push_back(ser_reduction);
-        table.addRow({wl.name(), TextTable::ratio(ipc_ratio),
-                      TextTable::ratio(ser_reduction, 1),
-                      TextTable::ratio(result.ser / wl.base.ser, 1),
-                      TextTable::num(result.migratedPages)});
+    for (std::size_t i = 0; i < profiled.size(); ++i) {
+        const auto &wl = *profiled[i];
+        const auto &perf_mig =
+            harness.record(wl.name(), passes[i].perfMig);
+        const auto &result =
+            harness.record(wl.name(), passes[i].result);
+        table.addRow(
+            {wl.name(),
+             TextTable::ratio(
+                 ipc_ratios.add(result.ipc / perf_mig.ipc)),
+             TextTable::ratio(
+                 ser_reductions.add(perf_mig.ser / result.ser), 1),
+             TextTable::ratio(result.ser / wl.base.ser, 1),
+             TextTable::num(result.migratedPages)});
     }
-    table.addRow({"average", TextTable::ratio(meanRatio(ipc_ratios)),
-                  TextTable::ratio(meanRatio(ser_reductions), 1), "-",
-                  "-"});
+    table.addRow({"average", ipc_ratios.averageCell(),
+                  ser_reductions.averageCell(1), "-", "-"});
     table.print(std::cout, title);
 
     std::cout << "\naverage IPC loss vs perf-migration: "
-              << TextTable::percent(1.0 - meanRatio(ipc_ratios))
+              << ipc_ratios.lossCell()
               << ", average SER reduction: "
-              << TextTable::ratio(meanRatio(ser_reductions), 1)
-              << "\n";
-    return 0;
+              << ser_reductions.averageCell(1) << "\n";
+    return harness.finish();
 }
 
 } // namespace ramp::bench

@@ -11,6 +11,10 @@
  *
  * Also sweeps the stacked-memory FIT scaling factor, the ablation
  * behind the HBM reliability assumption of Section 2.2.
+ *
+ * Monte-Carlo trials shard across the runner thread pool; shard
+ * seeds depend only on the campaign seed and shard index, so the
+ * rates are identical at any --jobs value.
  */
 
 #include <iostream>
@@ -18,19 +22,23 @@
 #include "common/table.hh"
 #include "reliability/faultsim.hh"
 #include "reliability/ser.hh"
+#include "runner/report.hh"
 
 using namespace ramp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = runner::RunnerOptions::parse(argc, argv);
+    runner::ThreadPool pool(options.jobs);
+
     TextTable table({"configuration", "trials", "P(UE)/horizon",
                      "FIT_unc per rank", "FIT_unc per GB"});
 
     auto report = [&](const FaultSimConfig &config,
                       std::uint64_t trials) {
         const FaultSim sim(config);
-        const auto result = sim.run(trials, /*seed=*/42);
+        const auto result = sim.run(trials, /*seed=*/42, &pool);
         table.addRow({config.name, TextTable::num(trials),
                       TextTable::num(result.pUncorrected, 8),
                       TextTable::num(result.fitUncorrectedPerRank, 4),
@@ -60,7 +68,7 @@ main()
                      "ratio vs ChipKill DDR"});
     for (const double factor : {1.0, 2.0, 3.0, 5.0}) {
         const FaultSim sim(FaultSimConfig::hbmSecDed(factor));
-        const auto result = sim.run(100000, 42);
+        const auto result = sim.run(100000, 42, &pool);
         sweep.addRow({TextTable::num(factor, 1),
                       TextTable::num(result.fitUncorrectedPerGB, 4),
                       TextTable::ratio(result.fitUncorrectedPerGB /

@@ -11,6 +11,7 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "bench_common.hh"
 
@@ -18,47 +19,67 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
-    const auto profiled = profileAll(config, motivationWorkloads());
+    Harness harness("fig01_pareto", argc, argv);
+    const SystemConfig &config = harness.config();
+    const auto profiled = harness.profileAll(motivationWorkloads());
+
+    const std::vector<double> fractions = {0.0, 0.1, 0.2, 0.3, 0.4,
+                                           0.5, 0.6, 0.7, 0.8, 0.9,
+                                           1.0};
+
+    // One task per (fraction, workload) point; the last "fraction"
+    // index is the balanced placement the paper contrasts against.
+    struct Point
+    {
+        std::size_t sweep;
+        std::size_t workload;
+    };
+    std::vector<Point> points;
+    for (std::size_t f = 0; f <= fractions.size(); ++f)
+        for (std::size_t w = 0; w < profiled.size(); ++w)
+            points.push_back({f, w});
+
+    const auto results =
+        harness.pool().map(points, [&](const Point &point) {
+            const auto &wl = *profiled[point.workload];
+            if (point.sweep == fractions.size())
+                return runStaticPolicy(config, wl.data,
+                                       StaticPolicy::Balanced,
+                                       wl.profile());
+            SimResult result =
+                runHotFraction(config, wl.data, wl.profile(),
+                               fractions[point.sweep]);
+            result.label += "@" +
+                            TextTable::num(fractions[point.sweep],
+                                           1);
+            return result;
+        });
+    for (std::size_t i = 0; i < points.size(); ++i)
+        harness.record(profiled[points[i].workload]->name(),
+                       results[i]);
 
     TextTable table({"hot fraction", "IPC vs DDR-only",
                      "SER vs DDR-only", "reliability (1/SER)"});
-
-    for (const double fraction :
-         {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
-        std::vector<double> ipc_ratios;
-        std::vector<double> ser_ratios;
-        for (const auto &wl : profiled) {
-            const auto result = runHotFraction(config, wl.data,
-                                               wl.profile(), fraction);
-            ipc_ratios.push_back(result.ipc / wl.base.ipc);
-            ser_ratios.push_back(result.ser / wl.base.ser);
+    for (std::size_t f = 0; f <= fractions.size(); ++f) {
+        RatioColumn ipc_ratios, ser_ratios;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].sweep != f)
+                continue;
+            const auto &wl = *profiled[points[i].workload];
+            ipc_ratios.add(results[i].ipc / wl.base.ipc);
+            ser_ratios.add(results[i].ser / wl.base.ser);
         }
-        const double ipc = meanRatio(ipc_ratios);
-        const double ser = meanRatio(ser_ratios);
-        table.addRow({TextTable::num(fraction, 1),
-                      TextTable::ratio(ipc),
-                      TextTable::ratio(ser, 1),
-                      TextTable::num(1.0 / ser, 4)});
+        const bool balanced = f == fractions.size();
+        table.addRow({balanced ? "balanced"
+                               : TextTable::num(fractions[f], 1),
+                      ipc_ratios.averageCell(),
+                      ser_ratios.averageCell(1),
+                      TextTable::num(1.0 / ser_ratios.mean(), 4)});
     }
-
-    // The balanced placement reaches the upper-right region that the
-    // pure hot-fraction frontier cannot (the paper's key point).
-    std::vector<double> ipc_ratios, ser_ratios;
-    for (const auto &wl : profiled) {
-        const auto result = runStaticPolicy(
-            config, wl.data, StaticPolicy::Balanced, wl.profile());
-        ipc_ratios.push_back(result.ipc / wl.base.ipc);
-        ser_ratios.push_back(result.ser / wl.base.ser);
-    }
-    table.addRow({"balanced", TextTable::ratio(meanRatio(ipc_ratios)),
-                  TextTable::ratio(meanRatio(ser_ratios), 1),
-                  TextTable::num(1.0 / meanRatio(ser_ratios), 4)});
-
     table.print(std::cout,
                 "Figure 1: performance vs reliability "
                 "(astar, cactusADM, mix1 average)");
-    return 0;
+    return harness.finish();
 }

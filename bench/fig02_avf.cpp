@@ -16,24 +16,25 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
-    auto profiled = profileAll(config, standardWorkloads());
+    Harness harness("fig02_avf", argc, argv);
+    auto profiled = harness.profileAll(standardWorkloads());
 
     std::sort(profiled.begin(), profiled.end(),
-              [](const ProfiledWorkload &a, const ProfiledWorkload &b) {
-                  return a.base.memoryAvf < b.base.memoryAvf;
+              [](const ProfiledWorkloadPtr &a,
+                 const ProfiledWorkloadPtr &b) {
+                  return a->base.memoryAvf < b->base.memoryAvf;
               });
 
     TextTable table({"workload", "memory AVF", "MPKI",
                      "footprint (pages)"});
     for (const auto &wl : profiled) {
-        table.addRow({wl.name(),
-                      TextTable::percent(wl.base.memoryAvf),
-                      TextTable::num(wl.base.mpki, 1),
+        table.addRow({wl->name(),
+                      TextTable::percent(wl->base.memoryAvf),
+                      TextTable::num(wl->base.mpki, 1),
                       TextTable::num(static_cast<std::uint64_t>(
-                          wl.profile().footprintPages()))});
+                          wl->profile().footprintPages()))});
     }
     table.print(std::cout,
                 "Figure 2: memory AVF per workload (DDR-only, "
@@ -62,5 +63,5 @@ main()
     }
     std::cout << "\n";
     mixes.print(std::cout, "Table 2: mixed workload composition");
-    return 0;
+    return harness.finish();
 }

@@ -17,16 +17,15 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness("fig04_quadrants", argc, argv);
 
     TextTable table({"workload", "hot&high", "hot&low", "cold&high",
                      "cold&low", "hot&low MB", "footprint MB"});
 
-    for (const auto &spec : standardWorkloads()) {
-        const auto wl = profileWorkload(config, spec);
-        const auto quadrants = analyzeQuadrants(wl.profile());
+    for (const auto &wl : harness.profileAll(standardWorkloads())) {
+        const auto quadrants = analyzeQuadrants(wl->profile());
         const double total =
             static_cast<double>(quadrants.total());
         auto frac = [&](std::uint64_t count) {
@@ -34,7 +33,7 @@ main()
                                       total);
         };
         table.addRow({
-            wl.name(),
+            wl->name(),
             frac(quadrants.hotHighRisk),
             frac(quadrants.hotLowRisk),
             frac(quadrants.coldHighRisk),
@@ -48,5 +47,5 @@ main()
     table.print(std::cout,
                 "Figure 4: page distribution across hotness-risk "
                 "quadrants (mean splits)");
-    return 0;
+    return harness.finish();
 }

@@ -15,32 +15,38 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness("fig05_perf_static", argc, argv);
+    const SystemConfig &config = harness.config();
 
     TextTable table({"workload", "IPC (DDR)", "IPC (perf)",
                      "IPC gain", "SER vs DDR-only"});
-    std::vector<double> ipc_ratios, ser_ratios;
+    RatioColumn ipc_ratios, ser_ratios;
 
-    for (const auto &spec : standardWorkloads()) {
-        const auto wl = profileWorkload(config, spec);
-        const auto result = runStaticPolicy(
-            config, wl.data, StaticPolicy::PerfFocused, wl.profile());
-        const double ipc_ratio = result.ipc / wl.base.ipc;
-        const double ser_ratio = result.ser / wl.base.ser;
-        ipc_ratios.push_back(ipc_ratio);
-        ser_ratios.push_back(ser_ratio);
-        table.addRow({wl.name(), TextTable::num(wl.base.ipc, 2),
-                      TextTable::num(result.ipc, 2),
-                      TextTable::ratio(ipc_ratio),
-                      TextTable::ratio(ser_ratio, 1)});
+    const auto profiled = harness.profileAll(standardWorkloads());
+    const auto results = harness.mapWorkloads(
+        profiled, [&](const ProfiledWorkloadPtr &wl) {
+            return runStaticPolicy(config, wl->data,
+                                   StaticPolicy::PerfFocused,
+                                   wl->profile());
+        });
+
+    for (std::size_t i = 0; i < profiled.size(); ++i) {
+        const auto &wl = *profiled[i];
+        const auto &result = harness.record(wl.name(), results[i]);
+        table.addRow(
+            {wl.name(), TextTable::num(wl.base.ipc, 2),
+             TextTable::num(result.ipc, 2),
+             TextTable::ratio(
+                 ipc_ratios.add(result.ipc / wl.base.ipc)),
+             TextTable::ratio(
+                 ser_ratios.add(result.ser / wl.base.ser), 1)});
     }
-    table.addRow({"average", "-", "-",
-                  TextTable::ratio(meanRatio(ipc_ratios)),
-                  TextTable::ratio(meanRatio(ser_ratios), 1)});
+    table.addRow({"average", "-", "-", ipc_ratios.averageCell(),
+                  ser_ratios.averageCell(1)});
     table.print(std::cout,
                 "Figure 5: performance-focused static placement "
                 "(paper: 1.6x IPC, 287x SER)");
-    return 0;
+    return harness.finish();
 }

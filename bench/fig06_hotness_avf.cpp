@@ -15,12 +15,12 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
-    const auto wl = profileWorkload(config, mixWorkload("mix1"));
+    Harness harness("fig06_hotness_avf", argc, argv);
+    const auto wl = harness.profile(mixWorkload("mix1"));
 
-    const auto order = wl.profile().sortedByDescending(
+    const auto order = wl->profile().sortedByDescending(
         [](const PageStats &s) { return s.hotness(); });
     const std::size_t top =
         std::min<std::size_t>(1000, order.size());
@@ -46,7 +46,7 @@ main()
         avf_top.push_back(order[i].second.avf);
     }
     std::vector<double> hot_all, avf_all;
-    for (const auto &[page, stats] : wl.profile().pages()) {
+    for (const auto &[page, stats] : wl->profile().pages()) {
         hot_all.push_back(static_cast<double>(stats.hotness()));
         avf_all.push_back(stats.avf);
     }
@@ -67,5 +67,5 @@ main()
               << TextTable::num(
                      pearsonCorrelation(hot_all, avf_all), 3)
               << "  (paper: 0.08)\n";
-    return 0;
+    return harness.finish();
 }

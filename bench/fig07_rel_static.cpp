@@ -8,10 +8,11 @@
 #include "static_policy_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return ramp::bench::reportStaticPolicy(
         ramp::StaticPolicy::ReliabilityFocused,
         "Figure 7: reliability-focused placement "
-        "(paper: SER/5, IPC -17%)");
+        "(paper: SER/5, IPC -17%)",
+        "fig07_rel_static", argc, argv);
 }

@@ -7,9 +7,10 @@
 #include "static_policy_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return ramp::bench::reportStaticPolicy(
         ramp::StaticPolicy::Balanced,
-        "Figure 8: balanced placement (paper: SER/3, IPC -14%)");
+        "Figure 8: balanced placement (paper: SER/3, IPC -14%)",
+        "fig08_balanced", argc, argv);
 }

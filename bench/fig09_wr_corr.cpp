@@ -17,13 +17,13 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
-    const auto wl = profileWorkload(config, mixWorkload("mix1"));
+    Harness harness("fig09_wr_corr", argc, argv);
+    const auto wl = harness.profile(mixWorkload("mix1"));
 
     // (a) correlation over the top-1000 hot pages and the footprint.
-    const auto order = wl.profile().sortedByDescending(
+    const auto order = wl->profile().sortedByDescending(
         [](const PageStats &s) { return s.hotness(); });
     const std::size_t top =
         std::min<std::size_t>(1000, order.size());
@@ -33,7 +33,7 @@ main()
         avf_top.push_back(order[i].second.avf);
     }
     std::vector<double> wr_all, avf_all;
-    for (const auto &[page, stats] : wl.profile().pages()) {
+    for (const auto &[page, stats] : wl->profile().pages()) {
         wr_all.push_back(stats.wrRatio());
         avf_all.push_back(stats.avf);
     }
@@ -47,7 +47,7 @@ main()
     // (b) write-ratio histogram, as write fraction of all accesses,
     // binned 0-20%, 21-40%, ... like the paper.
     Histogram histogram(0.0, 1.0 + 1e-9, 5);
-    for (const auto &[page, stats] : wl.profile().pages()) {
+    for (const auto &[page, stats] : wl->profile().pages()) {
         const double writes = static_cast<double>(stats.writes);
         const double total =
             static_cast<double>(stats.hotness());
@@ -64,5 +64,5 @@ main()
     }
     table.print(std::cout,
                 "Figure 9b: write-ratio histogram of mix1 pages");
-    return 0;
+    return harness.finish();
 }

@@ -7,9 +7,10 @@
 #include "static_policy_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return ramp::bench::reportStaticPolicy(
         ramp::StaticPolicy::WrRatio,
-        "Figure 10: Wr-ratio placement (paper: SER/1.8, IPC -8.1%)");
+        "Figure 10: Wr-ratio placement (paper: SER/1.8, IPC -8.1%)",
+        "fig10_wr_static", argc, argv);
 }

@@ -8,9 +8,10 @@
 #include "static_policy_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return ramp::bench::reportStaticPolicy(
         ramp::StaticPolicy::Wr2Ratio,
-        "Figure 11: Wr^2-ratio placement (paper: SER/1.6, IPC -1%)");
+        "Figure 11: Wr^2-ratio placement (paper: SER/1.6, IPC -1%)",
+        "fig11_wr2_static", argc, argv);
 }

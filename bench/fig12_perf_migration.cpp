@@ -10,6 +10,7 @@
  * (paper: ~47K at unscaled capacity).
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -18,40 +19,61 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness("fig12_perf_migration", argc, argv);
+    const SystemConfig &config = harness.config();
+
+    const auto profiled = harness.profileAll(standardWorkloads());
+
+    struct Passes
+    {
+        SimResult perfStatic;
+        SimResult result;
+    };
+    const auto passes = harness.mapWorkloads(
+        profiled, [&](const ProfiledWorkloadPtr &wl) {
+            Passes out;
+            out.perfStatic = runStaticPolicy(
+                config, wl->data, StaticPolicy::PerfFocused,
+                wl->profile());
+            out.result =
+                runDynamic(config, wl->data,
+                           DynamicScheme::PerfFocused, wl->profile());
+            return out;
+        });
 
     TextTable table({"workload", "IPC vs DDR-only", "SER vs DDR-only",
                      "IPC vs perf-static", "pages moved/interval"});
-    std::vector<double> ipc_ratios, ser_ratios, vs_static;
+    RatioColumn ipc_ratios, ser_ratios, vs_static;
 
-    for (const auto &spec : standardWorkloads()) {
-        const auto wl = profileWorkload(config, spec);
-        const auto perf_static = runStaticPolicy(
-            config, wl.data, StaticPolicy::PerfFocused, wl.profile());
-        const auto result = runDynamic(
-            config, wl.data, DynamicScheme::PerfFocused, wl.profile());
+    for (std::size_t i = 0; i < profiled.size(); ++i) {
+        const auto &wl = *profiled[i];
+        const auto &perf_static =
+            harness.record(wl.name(), passes[i].perfStatic);
+        const auto &result =
+            harness.record(wl.name(), passes[i].result);
 
         const double intervals =
             static_cast<double>(result.makespan) /
             static_cast<double>(config.fcIntervalCycles);
-        ipc_ratios.push_back(result.ipc / wl.base.ipc);
-        ser_ratios.push_back(result.ser / wl.base.ser);
-        vs_static.push_back(result.ipc / perf_static.ipc);
-        table.addRow({wl.name(),
-                      TextTable::ratio(ipc_ratios.back()),
-                      TextTable::ratio(ser_ratios.back(), 1),
-                      TextTable::ratio(vs_static.back()),
-                      TextTable::num(static_cast<std::uint64_t>(
-                          static_cast<double>(result.migratedPages) /
-                          std::max(1.0, intervals)))});
+        table.addRow(
+            {wl.name(),
+             TextTable::ratio(
+                 ipc_ratios.add(result.ipc / wl.base.ipc)),
+             TextTable::ratio(
+                 ser_ratios.add(result.ser / wl.base.ser), 1),
+             TextTable::ratio(
+                 vs_static.add(result.ipc / perf_static.ipc)),
+             TextTable::num(static_cast<std::uint64_t>(
+                 static_cast<double>(result.migratedPages) /
+                 std::max(1.0, intervals)))});
     }
-    table.addRow({"average", TextTable::ratio(meanRatio(ipc_ratios)),
-                  TextTable::ratio(meanRatio(ser_ratios), 1),
-                  TextTable::ratio(meanRatio(vs_static)), "-"});
+    table.addRow({"average", ipc_ratios.averageCell(),
+                  ser_ratios.averageCell(1), vs_static.averageCell(),
+                  "-"});
     table.print(std::cout,
                 "Figure 12: performance-focused migration "
                 "(paper: 1.52x IPC, 268x SER vs DDR-only)");
-    return 0;
+    return harness.finish();
 }

@@ -10,6 +10,7 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "bench_common.hh"
 
@@ -17,69 +18,107 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness("fig13_interval_sweep", argc, argv);
+    const SystemConfig config = harness.config();
 
     // Low / medium / high memory intensity.
     const std::vector<WorkloadSpec> specs = {
         homogeneousWorkload("astar"), homogeneousWorkload("lulesh"),
         homogeneousWorkload("mcf")};
-    const auto profiled = profileAll(config, specs);
+    const auto profiled = harness.profileAll(specs);
+
+    const std::vector<Cycle> fc_intervals = {
+        800'000, 1'600'000, 3'200'000, 6'400'000, 12'800'000};
+    struct Point
+    {
+        std::size_t sweep;
+        std::size_t workload;
+    };
+    std::vector<Point> fc_points;
+    for (std::size_t s = 0; s < fc_intervals.size(); ++s)
+        for (std::size_t w = 0; w < profiled.size(); ++w)
+            fc_points.push_back({s, w});
+
+    const auto fc_results =
+        harness.pool().map(fc_points, [&](const Point &point) {
+            SystemConfig swept = config;
+            swept.fcIntervalCycles = fc_intervals[point.sweep];
+            const auto &wl = *profiled[point.workload];
+            SimResult result =
+                runDynamic(swept, wl.data,
+                           DynamicScheme::PerfFocused, wl.profile());
+            result.label +=
+                "@fc" + std::to_string(swept.fcIntervalCycles);
+            return result;
+        });
+    for (std::size_t i = 0; i < fc_points.size(); ++i)
+        harness.record(profiled[fc_points[i].workload]->name(),
+                       fc_results[i]);
 
     TextTable fc_table({"FC interval (cycles)", "astar IPC",
                         "lulesh IPC", "mcf IPC", "mean vs default"});
     std::vector<double> defaults;
-    for (const Cycle interval :
-         {800'000ULL, 1'600'000ULL, 3'200'000ULL, 6'400'000ULL,
-          12'800'000ULL}) {
-        SystemConfig swept = config;
-        swept.fcIntervalCycles = interval;
+    for (std::size_t s = 0; s < fc_intervals.size(); ++s) {
         std::vector<std::string> row = {TextTable::num(
-            static_cast<std::uint64_t>(interval))};
+            static_cast<std::uint64_t>(fc_intervals[s]))};
         std::vector<double> ipcs;
-        for (const auto &wl : profiled) {
-            const auto result =
-                runDynamic(swept, wl.data, DynamicScheme::PerfFocused,
-                           wl.profile());
-            ipcs.push_back(result.ipc);
-            row.push_back(TextTable::num(result.ipc, 2));
+        for (std::size_t w = 0; w < profiled.size(); ++w) {
+            const double ipc =
+                fc_results[s * profiled.size() + w].ipc;
+            ipcs.push_back(ipc);
+            row.push_back(TextTable::num(ipc, 2));
         }
-        if (interval == config.fcIntervalCycles)
+        if (fc_intervals[s] == config.fcIntervalCycles)
             defaults = ipcs;
-        double rel = 0;
-        if (!defaults.empty()) {
-            for (std::size_t i = 0; i < ipcs.size(); ++i)
-                rel += ipcs[i] / defaults[i];
-            rel /= static_cast<double>(ipcs.size());
-        }
-        row.push_back(defaults.empty() ? "-"
-                                       : TextTable::ratio(rel));
+        RatioColumn rel;
+        if (!defaults.empty())
+            for (std::size_t w = 0; w < ipcs.size(); ++w)
+                rel.add(ipcs[w] / defaults[w]);
+        row.push_back(rel.averageCell());
         fc_table.addRow(row);
     }
     fc_table.print(std::cout,
                    "Figure 13: FC migration interval sweep "
                    "(default = scaled 100 ms)");
 
+    const std::vector<Cycle> mea_intervals = {25'000, 50'000,
+                                              100'000, 200'000};
+    std::vector<Point> mea_points;
+    for (std::size_t s = 0; s < mea_intervals.size(); ++s)
+        for (std::size_t w = 0; w < profiled.size(); ++w)
+            mea_points.push_back({s, w});
+
+    const auto mea_results =
+        harness.pool().map(mea_points, [&](const Point &point) {
+            SystemConfig swept = config;
+            swept.meaIntervalCycles = mea_intervals[point.sweep];
+            const auto &wl = *profiled[point.workload];
+            SimResult result =
+                runDynamic(swept, wl.data,
+                           DynamicScheme::CrossCounter, wl.profile());
+            result.label +=
+                "@mea" + std::to_string(swept.meaIntervalCycles);
+            return result;
+        });
+    for (std::size_t i = 0; i < mea_points.size(); ++i)
+        harness.record(profiled[mea_points[i].workload]->name(),
+                       mea_results[i]);
+
     TextTable mea_table({"MEA interval (cycles)", "astar IPC",
                          "lulesh IPC", "mcf IPC"});
-    for (const Cycle interval :
-         {25'000ULL, 50'000ULL, 100'000ULL, 200'000ULL}) {
-        SystemConfig swept = config;
-        swept.meaIntervalCycles = interval;
+    for (std::size_t s = 0; s < mea_intervals.size(); ++s) {
         std::vector<std::string> row = {TextTable::num(
-            static_cast<std::uint64_t>(interval))};
-        for (const auto &wl : profiled) {
-            const auto result =
-                runDynamic(swept, wl.data, DynamicScheme::CrossCounter,
-                           wl.profile());
-            row.push_back(TextTable::num(result.ipc, 2));
-        }
+            static_cast<std::uint64_t>(mea_intervals[s]))};
+        for (std::size_t w = 0; w < profiled.size(); ++w)
+            row.push_back(TextTable::num(
+                mea_results[s * profiled.size() + w].ipc, 2));
         mea_table.addRow(row);
     }
     std::cout << "\n";
     mea_table.print(std::cout,
                     "Figure 13 (cont.): MEA interval sweep for the "
                     "cross-counter scheme (default = scaled 50 us)");
-    return 0;
+    return harness.finish();
 }

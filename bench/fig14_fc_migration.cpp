@@ -8,10 +8,11 @@
 #include "dynamic_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return ramp::bench::reportDynamicScheme(
         ramp::DynamicScheme::FcReliability,
         "Figure 14: FC reliability-aware migration "
-        "(paper: SER/1.8, IPC -6%)");
+        "(paper: SER/1.8, IPC -6%)",
+        "fig14_fc_migration", argc, argv);
 }

@@ -9,10 +9,11 @@
 #include "dynamic_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return ramp::bench::reportDynamicScheme(
         ramp::DynamicScheme::CrossCounter,
         "Figure 15: cross-counter reliability-aware migration "
-        "(paper: SER/1.5, IPC -4.9%)");
+        "(paper: SER/1.5, IPC -4.9%)",
+        "fig15_cc_migration", argc, argv);
 }

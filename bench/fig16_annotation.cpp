@@ -15,39 +15,57 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness("fig16_annotation", argc, argv);
+    const SystemConfig &config = harness.config();
+
+    const auto profiled = harness.profileAll(standardWorkloads());
+
+    struct Passes
+    {
+        SimResult perf;
+        SimResult result;
+        std::uint64_t annotations = 0;
+    };
+    const auto passes = harness.mapWorkloads(
+        profiled, [&](const ProfiledWorkloadPtr &wl) {
+            Passes out;
+            out.perf = runStaticPolicy(config, wl->data,
+                                       StaticPolicy::PerfFocused,
+                                       wl->profile());
+            out.result =
+                runAnnotated(config, wl->data, wl->profile());
+            out.annotations =
+                annotationsFor(wl->data, wl->profile(),
+                               config.hbmPages())
+                    .count();
+            return out;
+        });
 
     TextTable table({"workload", "IPC vs perf-focused",
                      "SER reduction vs perf-focused",
                      "SER vs DDR-only", "annotations"});
-    std::vector<double> ipc_ratios, ser_reductions;
+    RatioColumn ipc_ratios, ser_reductions;
 
-    for (const auto &spec : standardWorkloads()) {
-        const auto wl = profileWorkload(config, spec);
-        const auto perf = runStaticPolicy(
-            config, wl.data, StaticPolicy::PerfFocused, wl.profile());
-        const auto result = runAnnotated(config, wl.data,
-                                         wl.profile());
-        const auto selection = annotationsFor(
-            wl.data, wl.profile(), config.hbmPages());
-
-        const double ipc_ratio = result.ipc / perf.ipc;
-        const double ser_reduction = perf.ser / result.ser;
-        ipc_ratios.push_back(ipc_ratio);
-        ser_reductions.push_back(ser_reduction);
-        table.addRow({wl.name(), TextTable::ratio(ipc_ratio),
-                      TextTable::ratio(ser_reduction, 1),
-                      TextTable::ratio(result.ser / wl.base.ser, 1),
-                      TextTable::num(static_cast<std::uint64_t>(
-                          selection.count()))});
+    for (std::size_t i = 0; i < profiled.size(); ++i) {
+        const auto &wl = *profiled[i];
+        const auto &perf = harness.record(wl.name(), passes[i].perf);
+        const auto &result =
+            harness.record(wl.name(), passes[i].result);
+        table.addRow(
+            {wl.name(),
+             TextTable::ratio(
+                 ipc_ratios.add(result.ipc / perf.ipc)),
+             TextTable::ratio(
+                 ser_reductions.add(perf.ser / result.ser), 1),
+             TextTable::ratio(result.ser / wl.base.ser, 1),
+             TextTable::num(passes[i].annotations)});
     }
-    table.addRow({"average", TextTable::ratio(meanRatio(ipc_ratios)),
-                  TextTable::ratio(meanRatio(ser_reductions), 1), "-",
-                  "-"});
+    table.addRow({"average", ipc_ratios.averageCell(),
+                  ser_reductions.averageCell(1), "-", "-"});
     table.print(std::cout,
                 "Figure 16: annotation-based placement "
                 "(paper: SER/1.3, IPC -1.1%)");
-    return 0;
+    return harness.finish();
 }

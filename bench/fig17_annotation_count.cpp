@@ -15,21 +15,26 @@ using namespace ramp;
 using namespace ramp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness("fig17_annotation_count", argc, argv);
+    const SystemConfig &config = harness.config();
+
+    const auto profiled = harness.profileAll(standardWorkloads());
+    const auto selections = harness.mapWorkloads(
+        profiled, [&](const ProfiledWorkloadPtr &wl) {
+            return annotationsFor(wl->data, wl->profile(),
+                                  config.hbmPages());
+        });
 
     TextTable table({"workload", "annotations", "pinned pages",
                      "pinned MB", "HBM fill"});
     double total = 0;
-    std::size_t count = 0;
 
-    for (const auto &spec : standardWorkloads()) {
-        const auto wl = profileWorkload(config, spec);
-        const auto selection = annotationsFor(
-            wl.data, wl.profile(), config.hbmPages());
+    for (std::size_t i = 0; i < profiled.size(); ++i) {
+        const auto &wl = *profiled[i];
+        const auto &selection = selections[i];
         total += static_cast<double>(selection.count());
-        ++count;
         table.addRow({
             wl.name(),
             TextTable::num(
@@ -48,7 +53,8 @@ main()
                 "Figure 17: annotated structures per workload "
                 "(paper: avg ~8; outliers cactusADM 39, mix1 45)");
     std::cout << "\naverage annotations: "
-              << TextTable::num(total / static_cast<double>(count), 1)
+              << TextTable::num(
+                     total / static_cast<double>(profiled.size()), 1)
               << "\n";
-    return 0;
+    return harness.finish();
 }

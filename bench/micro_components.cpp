@@ -7,6 +7,8 @@
  * the activity counters, the cache model, and trace generation.
  */
 
+#include <atomic>
+
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hh"
@@ -14,6 +16,7 @@
 #include "dram/memory.hh"
 #include "migration/counters.hh"
 #include "reliability/avf.hh"
+#include "runner/pool.hh"
 #include "trace/generator.hh"
 
 using namespace ramp;
@@ -90,6 +93,22 @@ bmCacheAccess(benchmark::State &state)
     }
 }
 BENCHMARK(bmCacheAccess);
+
+void
+bmThreadPoolDispatch(benchmark::State &state)
+{
+    runner::ThreadPool pool(
+        static_cast<unsigned>(state.range(0)));
+    std::atomic<std::uint64_t> sink{0};
+    for (auto _ : state) {
+        pool.runIndexed(64, [&](std::size_t index) {
+            sink.fetch_add(runner::taskSeed(42, index),
+                           std::memory_order_relaxed);
+        });
+    }
+    benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(bmThreadPoolDispatch)->Arg(1)->Arg(4);
 
 void
 bmTraceGeneration(benchmark::State &state)

@@ -5,7 +5,9 @@
  * Each of those figures evaluates one static placement policy over
  * every workload, ordered by decreasing MPKI (bandwidth-intensive on
  * the left), and reports IPC and SER relative to the
- * performance-focused static placement.
+ * performance-focused static placement. The per-workload pass pairs
+ * (perf-focused baseline + the policy under study) fan out across
+ * the harness thread pool.
  */
 
 #ifndef RAMP_BENCH_STATIC_POLICY_REPORT_HH
@@ -23,49 +25,63 @@ namespace ramp::bench
 
 /** Run one policy over all workloads and print the figure rows. */
 inline int
-reportStaticPolicy(StaticPolicy policy, const std::string &title)
+reportStaticPolicy(StaticPolicy policy, const std::string &title,
+                   const std::string &tool, int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
-    auto profiled = profileAll(config, standardWorkloads());
+    Harness harness(tool, argc, argv);
+    const SystemConfig &config = harness.config();
+    auto profiled = harness.profileAll(standardWorkloads());
 
     // The paper orders these figures by decreasing MPKI.
     std::sort(profiled.begin(), profiled.end(),
-              [](const ProfiledWorkload &a, const ProfiledWorkload &b) {
-                  return a.base.mpki > b.base.mpki;
+              [](const ProfiledWorkloadPtr &a,
+                 const ProfiledWorkloadPtr &b) {
+                  return a->base.mpki > b->base.mpki;
               });
+
+    struct Passes
+    {
+        SimResult perf;
+        SimResult result;
+    };
+    const auto passes = harness.mapWorkloads(
+        profiled, [&](const ProfiledWorkloadPtr &wl) {
+            Passes out;
+            out.perf = runStaticPolicy(config, wl->data,
+                                       StaticPolicy::PerfFocused,
+                                       wl->profile());
+            out.result = runStaticPolicy(config, wl->data, policy,
+                                         wl->profile());
+            return out;
+        });
 
     TextTable table({"workload", "MPKI", "IPC vs perf-focused",
                      "SER reduction vs perf-focused",
                      "SER vs DDR-only"});
-    std::vector<double> ipc_ratios, ser_reductions;
+    RatioColumn ipc_ratios, ser_reductions;
 
-    for (const auto &wl : profiled) {
-        const auto perf = runStaticPolicy(config, wl.data,
-                                          StaticPolicy::PerfFocused,
-                                          wl.profile());
-        const auto result =
-            runStaticPolicy(config, wl.data, policy, wl.profile());
-        const double ipc_ratio = result.ipc / perf.ipc;
-        const double ser_reduction = perf.ser / result.ser;
-        ipc_ratios.push_back(ipc_ratio);
-        ser_reductions.push_back(ser_reduction);
-        table.addRow({wl.name(), TextTable::num(wl.base.mpki, 1),
-                      TextTable::ratio(ipc_ratio),
-                      TextTable::ratio(ser_reduction, 1),
-                      TextTable::ratio(result.ser / wl.base.ser, 1)});
+    for (std::size_t i = 0; i < profiled.size(); ++i) {
+        const auto &wl = *profiled[i];
+        const auto &perf = harness.record(wl.name(), passes[i].perf);
+        const auto &result =
+            harness.record(wl.name(), passes[i].result);
+        table.addRow(
+            {wl.name(), TextTable::num(wl.base.mpki, 1),
+             TextTable::ratio(
+                 ipc_ratios.add(result.ipc / perf.ipc)),
+             TextTable::ratio(
+                 ser_reductions.add(perf.ser / result.ser), 1),
+             TextTable::ratio(result.ser / wl.base.ser, 1)});
     }
-    table.addRow({"average", "-",
-                  TextTable::ratio(meanRatio(ipc_ratios)),
-                  TextTable::ratio(meanRatio(ser_reductions), 1),
-                  "-"});
+    table.addRow({"average", "-", ipc_ratios.averageCell(),
+                  ser_reductions.averageCell(1), "-"});
     table.print(std::cout, title);
 
     std::cout << "\naverage IPC loss vs perf-focused: "
-              << TextTable::percent(1.0 - meanRatio(ipc_ratios))
+              << ipc_ratios.lossCell()
               << ", average SER reduction: "
-              << TextTable::ratio(meanRatio(ser_reductions), 1)
-              << "\n";
-    return 0;
+              << ser_reductions.averageCell(1) << "\n";
+    return harness.finish();
 }
 
 } // namespace ramp::bench

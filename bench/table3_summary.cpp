@@ -6,7 +6,8 @@
  * relative to its performance-focused counterpart (static schemes vs
  * perf-static, dynamic schemes vs perf-migration), plus the
  * hardware-cost analysis of Sections 6.3 / 6.4.2 at the paper's
- * unscaled capacities (17 GB HMA: 4.25M pages, 262K in HBM).
+ * unscaled capacities (17 GB HMA: 4.25M pages, 262K in HBM). All
+ * nine passes of every workload fan out across the thread pool.
  */
 
 #include <iostream>
@@ -23,16 +24,25 @@ struct SchemeSummary
 {
     std::string name;
     std::string paper; ///< the paper's (IPC loss, SER gain) cell
-    std::vector<double> ipcRatios;
-    std::vector<double> serReductions;
+    RatioColumn ipcRatios;
+    RatioColumn serReductions;
+};
+
+/** Every pass of one workload, in scheme order. */
+struct WorkloadPasses
+{
+    SimResult perfStatic;
+    SimResult perfMig;
+    std::vector<SimResult> schemes;
 };
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const SystemConfig config = SystemConfig::scaledDefault();
+    Harness harness("table3_summary", argc, argv);
+    const SystemConfig &config = harness.config();
 
     std::vector<SchemeSummary> summaries = {
         {"rel-focused [5.1]", "17% / 5.0x", {}, {}},
@@ -44,48 +54,49 @@ main()
         {"annotations [7]", "1.1% / 1.3x", {}, {}},
     };
 
-    for (const auto &spec : standardWorkloads()) {
-        const auto wl = profileWorkload(config, spec);
-        const auto perf_static = runStaticPolicy(
-            config, wl.data, StaticPolicy::PerfFocused, wl.profile());
-        const auto perf_mig = runDynamic(
-            config, wl.data, DynamicScheme::PerfFocused, wl.profile());
+    const auto profiled = harness.profileAll(standardWorkloads());
+    const auto passes = harness.mapWorkloads(
+        profiled, [&](const ProfiledWorkloadPtr &wl) {
+            WorkloadPasses out;
+            out.perfStatic = runStaticPolicy(
+                config, wl->data, StaticPolicy::PerfFocused,
+                wl->profile());
+            out.perfMig =
+                runDynamic(config, wl->data,
+                           DynamicScheme::PerfFocused, wl->profile());
+            for (const StaticPolicy policy :
+                 {StaticPolicy::ReliabilityFocused,
+                  StaticPolicy::Balanced, StaticPolicy::WrRatio,
+                  StaticPolicy::Wr2Ratio})
+                out.schemes.push_back(runStaticPolicy(
+                    config, wl->data, policy, wl->profile()));
+            for (const DynamicScheme scheme :
+                 {DynamicScheme::FcReliability,
+                  DynamicScheme::CrossCounter})
+                out.schemes.push_back(runDynamic(
+                    config, wl->data, scheme, wl->profile()));
+            out.schemes.push_back(
+                runAnnotated(config, wl->data, wl->profile()));
+            return out;
+        });
 
-        auto add = [&](std::size_t i, const SimResult &result,
-                       const SimResult &baseline) {
-            summaries[i].ipcRatios.push_back(result.ipc /
-                                             baseline.ipc);
-            summaries[i].serReductions.push_back(baseline.ser /
-                                                 result.ser);
-        };
-
-        add(0,
-            runStaticPolicy(config, wl.data,
-                            StaticPolicy::ReliabilityFocused,
-                            wl.profile()),
-            perf_static);
-        add(1,
-            runStaticPolicy(config, wl.data, StaticPolicy::Balanced,
-                            wl.profile()),
-            perf_static);
-        add(2,
-            runStaticPolicy(config, wl.data, StaticPolicy::WrRatio,
-                            wl.profile()),
-            perf_static);
-        add(3,
-            runStaticPolicy(config, wl.data, StaticPolicy::Wr2Ratio,
-                            wl.profile()),
-            perf_static);
-        add(4,
-            runDynamic(config, wl.data, DynamicScheme::FcReliability,
-                       wl.profile()),
-            perf_mig);
-        add(5,
-            runDynamic(config, wl.data, DynamicScheme::CrossCounter,
-                       wl.profile()),
-            perf_mig);
-        add(6, runAnnotated(config, wl.data, wl.profile()),
-            perf_static);
+    for (std::size_t w = 0; w < profiled.size(); ++w) {
+        const auto &wl = *profiled[w];
+        const auto &perf_static =
+            harness.record(wl.name(), passes[w].perfStatic);
+        const auto &perf_mig =
+            harness.record(wl.name(), passes[w].perfMig);
+        for (std::size_t i = 0; i < summaries.size(); ++i) {
+            const auto &result =
+                harness.record(wl.name(), passes[w].schemes[i]);
+            // Schemes 4 and 5 are dynamic: their baseline is the
+            // performance-focused migration, not the static oracle.
+            const auto &baseline =
+                (i == 4 || i == 5) ? perf_mig : perf_static;
+            summaries[i].ipcRatios.add(result.ipc / baseline.ipc);
+            summaries[i].serReductions.add(baseline.ser /
+                                           result.ser);
+        }
     }
 
     TextTable table({"scheme", "IPC loss", "SER gain",
@@ -93,8 +104,8 @@ main()
     for (const auto &summary : summaries) {
         table.addRow({
             summary.name,
-            TextTable::percent(1.0 - meanRatio(summary.ipcRatios)),
-            TextTable::ratio(meanRatio(summary.serReductions), 1),
+            summary.ipcRatios.lossCell(),
+            summary.serReductions.averageCell(1),
             summary.paper,
         });
     }
@@ -135,5 +146,5 @@ main()
     cost.print(std::cout,
                "Hardware cost analysis (Sections 6.3, 6.4.2; "
                "unscaled 17 GB HMA)");
-    return 0;
+    return harness.finish();
 }

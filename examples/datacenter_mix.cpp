@@ -7,7 +7,8 @@
  * heterogeneous tenants onto one HMA node:
  *   1. compose a custom mix (any registry programs, 16 cores),
  *   2. profile it on DDR only and inspect the Figure 4 quadrants,
- *   3. compare the placement options the paper offers,
+ *   3. compare the placement options the paper offers — the four
+ *      static candidates fan out across the runner thread pool,
  *   4. report the per-mix recommendation.
  */
 
@@ -16,12 +17,16 @@
 #include "common/table.hh"
 #include "hma/experiment.hh"
 #include "placement/quadrant.hh"
+#include "runner/harness.hh"
 
 using namespace ramp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    runner::Harness harness("datacenter_mix", argc, argv);
+    const SystemConfig &config = harness.config();
+
     // 1. A custom consolidation mix: latency-sensitive services
     //    (gcc, omnetpp) sharing the node with HPC batch jobs.
     WorkloadSpec spec;
@@ -33,14 +38,13 @@ main()
                            "lulesh",  "lulesh",   "xsbench",
                            "xsbench"};
 
-    const WorkloadData data = prepareWorkload(spec);
-    const SystemConfig config = SystemConfig::scaledDefault();
-
-    // 2. Profile pass and quadrant analysis.
-    const SimResult base = runDdrOnly(config, data);
-    const auto quadrants = analyzeQuadrants(base.profile);
+    // 2. Profile pass (cached like any bench workload) and quadrant
+    //    analysis.
+    const auto wl = harness.profile(spec);
+    const SimResult &base = wl->base;
+    const auto quadrants = analyzeQuadrants(wl->profile());
     std::cout << "mix '" << spec.name << "': "
-              << base.profile.footprintPages() << " pages, AVF "
+              << wl->profile().footprintPages() << " pages, AVF "
               << TextTable::percent(base.memoryAvf) << ", MPKI "
               << TextTable::num(base.mpki, 1) << "\n"
               << "hot & low-risk pages: "
@@ -48,15 +52,22 @@ main()
               << " of footprint (the placement opportunity)\n\n";
 
     // 3. Candidate placements.
+    const std::vector<StaticPolicy> policies = {
+        StaticPolicy::PerfFocused, StaticPolicy::Balanced,
+        StaticPolicy::WrRatio, StaticPolicy::Wr2Ratio};
+    const auto candidates = harness.pool().map(
+        policies, [&](const StaticPolicy policy) {
+            return runStaticPolicy(config, wl->data, policy,
+                                   wl->profile());
+        });
+
     TextTable table({"placement", "IPC vs DDR-only",
                      "SER vs DDR-only", "HBM traffic share"});
     SimResult best_balanced{};
-    for (const StaticPolicy policy :
-         {StaticPolicy::PerfFocused, StaticPolicy::Balanced,
-          StaticPolicy::WrRatio, StaticPolicy::Wr2Ratio}) {
-        const auto result =
-            runStaticPolicy(config, data, policy, base.profile);
-        if (policy == StaticPolicy::Wr2Ratio)
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const auto &result =
+            harness.record(spec.name, candidates[i]);
+        if (policies[i] == StaticPolicy::Wr2Ratio)
             best_balanced = result;
         table.addRow({result.label,
                       TextTable::ratio(result.ipc / base.ipc),
@@ -64,9 +75,10 @@ main()
                       TextTable::percent(result.hbmAccessFraction)});
     }
     // Dynamic option for tenants the operator cannot profile.
-    const auto fc = runDynamic(config, data,
-                               DynamicScheme::FcReliability,
-                               base.profile);
+    const auto &fc = harness.record(
+        spec.name, runDynamic(config, wl->data,
+                              DynamicScheme::FcReliability,
+                              wl->profile()));
     table.addRow({fc.label, TextTable::ratio(fc.ipc / base.ipc),
                   TextTable::ratio(fc.ser / base.ser, 1),
                   TextTable::percent(fc.hbmAccessFraction)});
@@ -79,5 +91,5 @@ main()
               << " IPC at "
               << TextTable::ratio(best_balanced.ser / base.ser, 1)
               << " SER vs DDR-only)\n";
-    return 0;
+    return harness.finish();
 }

@@ -13,9 +13,13 @@
  *
  * Policies: ddr-only perf rel balanced wr wr2 annotated
  *           perf-mig fc-mig cc-mig
+ *
+ * Runner flags (--jobs, --json, --cache-dir) may appear anywhere;
+ * with --cache-dir the profile pass is shared with the bench
+ * binaries, so `ramp_cli profile mix1` after a bench run is free.
  */
 
-#include <cstring>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -23,8 +27,10 @@
 #include "hma/experiment.hh"
 #include "placement/quadrant.hh"
 #include "reliability/faultsim.hh"
+#include "runner/harness.hh"
 
 using namespace ramp;
+using runner::Harness;
 
 namespace
 {
@@ -55,18 +61,16 @@ cmdWorkloads()
 }
 
 int
-cmdProfile(const std::string &workload)
+cmdProfile(Harness &harness, const std::string &workload)
 {
-    const auto data = prepareWorkload(specFor(workload));
-    const SystemConfig config = SystemConfig::scaledDefault();
-    const auto base = runDdrOnly(config, data);
-    const auto quadrants = analyzeQuadrants(base.profile);
+    const auto wl = harness.profile(specFor(workload));
+    const auto quadrants = analyzeQuadrants(wl->profile());
 
     std::cout << workload << ": AVF "
-              << TextTable::percent(base.memoryAvf) << ", MPKI "
-              << TextTable::num(base.mpki, 1) << ", IPC "
-              << TextTable::num(base.ipc, 2) << ", footprint "
-              << base.profile.footprintPages() << " pages\n"
+              << TextTable::percent(wl->base.memoryAvf) << ", MPKI "
+              << TextTable::num(wl->base.mpki, 1) << ", IPC "
+              << TextTable::num(wl->base.ipc, 2) << ", footprint "
+              << wl->profile().footprintPages() << " pages\n"
               << "quadrants: hot&low "
               << TextTable::percent(quadrants.hotLowRiskFraction())
               << "\n\n";
@@ -74,7 +78,7 @@ cmdProfile(const std::string &workload)
     TextTable table({"program", "structure", "pages", "acc/page",
                      "avg AVF"});
     const auto structures =
-        profileStructures(data.layout, base.profile);
+        profileStructures(wl->data.layout, wl->profile());
     for (const auto &entry : structures)
         table.addRow({entry.benchmark, entry.structure,
                       TextTable::num(entry.pages),
@@ -85,48 +89,56 @@ cmdProfile(const std::string &workload)
 }
 
 int
-cmdRun(const std::string &workload, const std::string &policy)
+cmdRun(Harness &harness, const std::string &workload,
+       const std::string &policy)
 {
-    const auto data = prepareWorkload(specFor(workload));
-    const SystemConfig config = SystemConfig::scaledDefault();
-    const auto base = runDdrOnly(config, data);
+    const auto wl = harness.profile(specFor(workload));
+    const SystemConfig &config = harness.config();
+    const SimResult &base = wl->base;
 
     SimResult result;
     if (policy == "ddr-only")
         result = base;
     else if (policy == "perf")
-        result = runStaticPolicy(config, data,
+        result = runStaticPolicy(config, wl->data,
                                  StaticPolicy::PerfFocused,
-                                 base.profile);
+                                 wl->profile());
     else if (policy == "rel")
-        result = runStaticPolicy(config, data,
+        result = runStaticPolicy(config, wl->data,
                                  StaticPolicy::ReliabilityFocused,
-                                 base.profile);
+                                 wl->profile());
     else if (policy == "balanced")
-        result = runStaticPolicy(config, data, StaticPolicy::Balanced,
-                                 base.profile);
+        result = runStaticPolicy(config, wl->data,
+                                 StaticPolicy::Balanced,
+                                 wl->profile());
     else if (policy == "wr")
-        result = runStaticPolicy(config, data, StaticPolicy::WrRatio,
-                                 base.profile);
+        result = runStaticPolicy(config, wl->data,
+                                 StaticPolicy::WrRatio,
+                                 wl->profile());
     else if (policy == "wr2")
-        result = runStaticPolicy(config, data, StaticPolicy::Wr2Ratio,
-                                 base.profile);
+        result = runStaticPolicy(config, wl->data,
+                                 StaticPolicy::Wr2Ratio,
+                                 wl->profile());
     else if (policy == "annotated")
-        result = runAnnotated(config, data, base.profile);
+        result = runAnnotated(config, wl->data, wl->profile());
     else if (policy == "perf-mig")
-        result = runDynamic(config, data, DynamicScheme::PerfFocused,
-                            base.profile);
+        result = runDynamic(config, wl->data,
+                            DynamicScheme::PerfFocused,
+                            wl->profile());
     else if (policy == "fc-mig")
-        result = runDynamic(config, data,
+        result = runDynamic(config, wl->data,
                             DynamicScheme::FcReliability,
-                            base.profile);
+                            wl->profile());
     else if (policy == "cc-mig")
-        result = runDynamic(config, data, DynamicScheme::CrossCounter,
-                            base.profile);
+        result = runDynamic(config, wl->data,
+                            DynamicScheme::CrossCounter,
+                            wl->profile());
     else {
         std::cerr << "unknown policy: " << policy << "\n";
         return 1;
     }
+    if (policy != "ddr-only")
+        harness.record(workload, result);
 
     TextTable table({"metric", "value"});
     table.addRow({"IPC", TextTable::num(result.ipc, 3)});
@@ -145,35 +157,43 @@ cmdRun(const std::string &workload, const std::string &policy)
 }
 
 int
-cmdSweep(const std::string &workload)
+cmdSweep(Harness &harness, const std::string &workload)
 {
-    const auto data = prepareWorkload(specFor(workload));
-    const SystemConfig config = SystemConfig::scaledDefault();
-    const auto base = runDdrOnly(config, data);
+    const auto wl = harness.profile(specFor(workload));
+    const SystemConfig &config = harness.config();
+
+    const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75,
+                                           1.0};
+    const auto results = harness.pool().map(
+        fractions, [&](const double fraction) {
+            SimResult result = runHotFraction(
+                config, wl->data, wl->profile(), fraction);
+            result.label += "@" + TextTable::num(fraction, 2);
+            return result;
+        });
 
     TextTable table({"hot fraction", "IPC vs DDR-only",
                      "SER vs DDR-only"});
-    for (const double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-        const auto result =
-            runHotFraction(config, data, base.profile, fraction);
-        table.addRow({TextTable::num(fraction, 2),
-                      TextTable::ratio(result.ipc / base.ipc),
-                      TextTable::ratio(result.ser / base.ser, 1)});
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        const auto &result = harness.record(workload, results[i]);
+        table.addRow({TextTable::num(fractions[i], 2),
+                      TextTable::ratio(result.ipc / wl->base.ipc),
+                      TextTable::ratio(result.ser / wl->base.ser, 1)});
     }
     table.print(std::cout, workload + ": hot-fraction frontier");
     return 0;
 }
 
 int
-cmdFaultsim(double stacked_factor)
+cmdFaultsim(runner::ThreadPool &pool, double stacked_factor)
 {
     TextTable table({"memory", "ECC", "P(UE)", "FIT_unc/GB"});
     const auto hbm =
         FaultSim(FaultSimConfig::hbmSecDed(stacked_factor))
-            .run(100000, 42);
+            .run(100000, 42, &pool);
     auto ddr_config = FaultSimConfig::ddrChipKill();
     ddr_config.fitBoost = 30.0;
-    const auto ddr = FaultSim(ddr_config).run(1000000, 42);
+    const auto ddr = FaultSim(ddr_config).run(1000000, 42, &pool);
     table.addRow({"die-stacked", "SEC-DED",
                   TextTable::num(hbm.pUncorrected, 8),
                   TextTable::num(hbm.fitUncorrectedPerGB, 3)});
@@ -202,9 +222,10 @@ void
 usage()
 {
     std::cout
-        << "usage: ramp_cli <command> [...]\n"
+        << "usage: ramp_cli [flags] <command> [...]\n"
         << "  workloads | profile <wl> | run <wl> <policy> |\n"
-        << "  sweep <wl> | faultsim [factor] | trace <wl> <file>\n";
+        << "  sweep <wl> | faultsim [factor] | trace <wl> <file>\n"
+        << runner::RunnerOptions::flagsHelp();
 }
 
 } // namespace
@@ -212,23 +233,34 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
+    Harness harness("ramp_cli", argc, argv);
+    const auto &args = harness.options().positional;
+    if (args.empty()) {
         usage();
         return 1;
     }
-    const std::string command = argv[1];
+
+    const std::string &command = args[0];
+    int rc = -1;
     if (command == "workloads")
-        return cmdWorkloads();
-    if (command == "profile" && argc >= 3)
-        return cmdProfile(argv[2]);
-    if (command == "run" && argc >= 4)
-        return cmdRun(argv[2], argv[3]);
-    if (command == "sweep" && argc >= 3)
-        return cmdSweep(argv[2]);
-    if (command == "faultsim")
-        return cmdFaultsim(argc >= 3 ? std::atof(argv[2]) : 3.0);
-    if (command == "trace" && argc >= 4)
-        return cmdTrace(argv[2], argv[3]);
-    usage();
-    return 1;
+        rc = cmdWorkloads();
+    else if (command == "profile" && args.size() >= 2)
+        rc = cmdProfile(harness, args[1]);
+    else if (command == "run" && args.size() >= 3)
+        rc = cmdRun(harness, args[1], args[2]);
+    else if (command == "sweep" && args.size() >= 2)
+        rc = cmdSweep(harness, args[1]);
+    else if (command == "faultsim")
+        rc = cmdFaultsim(harness.pool(),
+                         args.size() >= 2 ? std::atof(args[1].c_str())
+                                          : 3.0);
+    else if (command == "trace" && args.size() >= 3)
+        rc = cmdTrace(args[1], args[2]);
+
+    if (rc < 0) {
+        usage();
+        return 1;
+    }
+    const int finish_rc = harness.finish();
+    return rc != 0 ? rc : finish_rc;
 }

@@ -33,6 +33,12 @@ PageProfile::setAvf(PageId page, double avf)
     pages_[page].avf = avf;
 }
 
+void
+PageProfile::setStats(PageId page, const PageStats &stats)
+{
+    pages_[page] = stats;
+}
+
 PageStats
 PageProfile::statsOf(PageId page) const
 {

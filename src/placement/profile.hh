@@ -51,6 +51,9 @@ class PageProfile
     /** Attach the measured AVF of a page. */
     void setAvf(PageId page, double avf);
 
+    /** Install a page's full stats (profile deserialisation). */
+    void setStats(PageId page, const PageStats &stats);
+
     /** Stats of one page (zeros when untouched). */
     PageStats statsOf(PageId page) const;
 

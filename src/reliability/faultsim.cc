@@ -1,5 +1,6 @@
 #include "reliability/faultsim.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -104,22 +105,20 @@ FaultSim::drawFault(Rng &rng) const
     return fault;
 }
 
-FaultSimResult
-FaultSim::run(std::uint64_t trials, std::uint64_t seed) const
+FaultSim::ShardCounts
+FaultSim::runShard(std::uint64_t trials, std::uint64_t seed) const
 {
     Rng rng(seed);
-    FaultSimResult result;
-    result.trials = trials;
+    ShardCounts counts;
 
     const double mean_faults = config_.rates.total() *
                                static_cast<double>(config_.chips) *
                                config_.hours / 1e9 * config_.fitBoost;
 
-    std::uint64_t total_faults = 0;
     std::vector<FaultRecord> faults;
     for (std::uint64_t trial = 0; trial < trials; ++trial) {
         const std::uint64_t count = rng.nextPoisson(mean_faults);
-        total_faults += count;
+        counts.faults += count;
         faults.clear();
         for (std::uint64_t i = 0; i < count; ++i)
             faults.push_back(drawFault(rng));
@@ -127,15 +126,53 @@ FaultSim::run(std::uint64_t trials, std::uint64_t seed) const
         switch (classifyFaults(config_.ecc, faults,
                                config_.geometry)) {
           case EccOutcome::NoError:
-            ++result.noError;
+            ++counts.noError;
             break;
           case EccOutcome::Corrected:
-            ++result.corrected;
+            ++counts.corrected;
             break;
           case EccOutcome::Uncorrected:
-            ++result.uncorrected;
+            ++counts.uncorrected;
             break;
         }
+    }
+    return counts;
+}
+
+FaultSimResult
+FaultSim::run(std::uint64_t trials, std::uint64_t seed,
+              runner::ThreadPool *pool) const
+{
+    // The campaign is embarrassingly parallel: fixed-size shards
+    // with SplitMix64-derived seeds make the outcome a pure
+    // function of (trials, seed) regardless of thread count.
+    const std::uint64_t shards =
+        (trials + shardTrials - 1) / shardTrials;
+
+    auto shard_counts = [&](std::size_t shard) {
+        const std::uint64_t first = shard * shardTrials;
+        const std::uint64_t size =
+            std::min(shardTrials, trials - first);
+        return runShard(size, runner::taskSeed(seed, shard));
+    };
+
+    std::vector<ShardCounts> per_shard;
+    if (pool != nullptr) {
+        per_shard = pool->mapIndex(shards, shard_counts);
+    } else {
+        per_shard.reserve(shards);
+        for (std::uint64_t shard = 0; shard < shards; ++shard)
+            per_shard.push_back(shard_counts(shard));
+    }
+
+    FaultSimResult result;
+    result.trials = trials;
+    std::uint64_t total_faults = 0;
+    for (const auto &counts : per_shard) {
+        result.noError += counts.noError;
+        result.corrected += counts.corrected;
+        result.uncorrected += counts.uncorrected;
+        total_faults += counts.faults;
     }
 
     result.avgFaultsPerTrial =

@@ -27,6 +27,7 @@
 #include "common/rng.hh"
 #include "reliability/ecc.hh"
 #include "reliability/fit.hh"
+#include "runner/pool.hh"
 
 namespace ramp
 {
@@ -104,8 +105,20 @@ class FaultSim
   public:
     explicit FaultSim(const FaultSimConfig &config);
 
-    /** Run a campaign of independent trials. */
-    FaultSimResult run(std::uint64_t trials, std::uint64_t seed) const;
+    /**
+     * Run a campaign of independent trials.
+     *
+     * Trials are split into fixed-size shards whose seeds derive
+     * from the campaign seed (SplitMix64 of the shard index), so
+     * the result depends only on (trials, seed) — never on the
+     * shard schedule. Passing a thread pool fans the shards out in
+     * parallel; without one they run serially, bit-identically.
+     */
+    FaultSimResult run(std::uint64_t trials, std::uint64_t seed,
+                       runner::ThreadPool *pool = nullptr) const;
+
+    /** Trials per shard of a campaign. */
+    static constexpr std::uint64_t shardTrials = 62500;
 
     /** Draw one fault with mode probability proportional to FIT. */
     FaultRecord drawFault(Rng &rng) const;
@@ -114,6 +127,18 @@ class FaultSim
     const FaultSimConfig &config() const { return config_; }
 
   private:
+    /** Raw outcome counts of one shard of trials. */
+    struct ShardCounts
+    {
+        std::uint64_t noError = 0;
+        std::uint64_t corrected = 0;
+        std::uint64_t uncorrected = 0;
+        std::uint64_t faults = 0;
+    };
+
+    ShardCounts runShard(std::uint64_t trials,
+                         std::uint64_t seed) const;
+
     FaultSimConfig config_;
 };
 

@@ -1,0 +1,68 @@
+#include "runner/harness.hh"
+
+#include <cstdio>
+
+namespace ramp::runner
+{
+
+Harness::Harness(std::string tool, int argc, char **argv)
+    : Harness(std::move(tool), RunnerOptions::parse(argc, argv))
+{
+}
+
+Harness::Harness(std::string tool, RunnerOptions options)
+    : tool_(std::move(tool)),
+      options_(std::move(options)),
+      config_(SystemConfig::scaledDefault()),
+      pool_(options_.jobs),
+      report_(tool_)
+{
+    if (!options_.cacheDir.empty())
+        cache_.setDiskDir(options_.cacheDir);
+}
+
+ProfiledWorkloadPtr
+Harness::profile(const WorkloadSpec &spec,
+                 const GeneratorOptions &options)
+{
+    auto profiled = cache_.get(config_, spec, options);
+    report_.add(profiled->name(), profiled->base);
+    return profiled;
+}
+
+std::vector<ProfiledWorkloadPtr>
+Harness::profileAll(const std::vector<WorkloadSpec> &specs,
+                    const GeneratorOptions &options)
+{
+    auto profiled = pool_.map(specs, [&](const WorkloadSpec &spec) {
+        return cache_.get(config_, spec, options);
+    });
+    // Record baselines after the fan-out so the JSON pass order is
+    // the spec order, not the scheduling order.
+    for (const auto &wl : profiled)
+        report_.add(wl->name(), wl->base);
+    return profiled;
+}
+
+SimResult
+Harness::record(const std::string &workload, const SimResult &result)
+{
+    report_.add(workload, result);
+    return result;
+}
+
+int
+Harness::finish()
+{
+    if (options_.jsonPath.empty())
+        return 0;
+    if (!report_.writeJson(options_.jsonPath, pool_.jobs(),
+                           cache_.stats())) {
+        std::fprintf(stderr, "%s: cannot write JSON report to %s\n",
+                     tool_.c_str(), options_.jsonPath.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace ramp::runner

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The experiment harness every figure/table binary runs on.
+ *
+ * One Harness per binary: it parses the shared runner flags
+ * (--jobs, --json, --cache-dir), owns the thread pool, the profile
+ * cache, and the result sink, and provides the two operations the
+ * paper's methodology repeats everywhere — profile a workload set
+ * (cached, parallel) and fan policy passes out over it (parallel,
+ * deterministic, recorded).
+ */
+
+#ifndef RAMP_RUNNER_HARNESS_HH
+#define RAMP_RUNNER_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/pool.hh"
+#include "runner/profile_cache.hh"
+#include "runner/report.hh"
+
+namespace ramp::runner
+{
+
+/** Shared execution context of one harness binary. */
+class Harness
+{
+  public:
+    /** Parse runner flags from the command line. */
+    Harness(std::string tool, int argc, char **argv);
+
+    /** Construct from pre-parsed options (tests, embedding). */
+    Harness(std::string tool, RunnerOptions options);
+
+    const RunnerOptions &options() const { return options_; }
+
+    /** The system under experiment (Table 1, scaled). */
+    const SystemConfig &config() const { return config_; }
+
+    /** Mutable access for sweep binaries that adjust knobs. */
+    SystemConfig &config() { return config_; }
+
+    ThreadPool &pool() { return pool_; }
+    ProfileCache &cache() { return cache_; }
+    Report &report() { return report_; }
+
+    /** Profile one workload through the cache (recorded). */
+    ProfiledWorkloadPtr profile(const WorkloadSpec &spec,
+                                const GeneratorOptions &options = {});
+
+    /**
+     * Profile a workload set: cache lookups fan out across the
+     * pool, results come back in spec order, and each baseline pass
+     * is recorded once.
+     */
+    std::vector<ProfiledWorkloadPtr>
+    profileAll(const std::vector<WorkloadSpec> &specs,
+               const GeneratorOptions &options = {});
+
+    /**
+     * Fan fn out over profiled workloads on the pool; results in
+     * workload order. fn must be pure in the shared state (it may
+     * build its own engines/systems).
+     */
+    template <typename Fn>
+    auto mapWorkloads(const std::vector<ProfiledWorkloadPtr> &wls,
+                      Fn fn)
+    {
+        return pool_.map(wls, fn);
+    }
+
+    /**
+     * Record one pass into the JSON report; returns the result (by
+     * value, so recording a temporary pass is safe).
+     */
+    SimResult record(const std::string &workload,
+                     const SimResult &result);
+
+    /**
+     * Finish the run: write the JSON report when requested.
+     * Returns the binary's exit code (1 when the report cannot be
+     * written, else 0).
+     */
+    int finish();
+
+  private:
+    std::string tool_;
+    RunnerOptions options_;
+    SystemConfig config_;
+    ThreadPool pool_;
+    ProfileCache cache_;
+    Report report_;
+};
+
+} // namespace ramp::runner
+
+#endif // RAMP_RUNNER_HARNESS_HH

@@ -1,0 +1,110 @@
+#include "runner/pool.hh"
+
+#include <cstdlib>
+
+namespace ramp::runner
+{
+
+std::uint64_t
+taskSeed(std::uint64_t campaign_seed, std::uint64_t task_index)
+{
+    // SplitMix64 step (Steele et al.); the golden-gamma increment
+    // decorrelates adjacent task indices.
+    std::uint64_t z = campaign_seed + (task_index + 1) *
+                                          0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("RAMP_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+    // The calling thread executes batch tasks too, so jobs_ - 1
+    // workers give the requested parallelism.
+    workers_.reserve(jobs_ - 1);
+    for (unsigned i = 1; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runIndexed(std::size_t count,
+                       const std::function<void(std::size_t)> &task)
+{
+    if (count == 0)
+        return;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (task_ != nullptr || workers_.empty()) {
+        // Nested batch (called from inside a task) or single-job
+        // pool: run inline on the calling thread.
+        lock.unlock();
+        for (std::size_t i = 0; i < count; ++i)
+            task(i);
+        return;
+    }
+
+    task_ = &task;
+    count_ = count;
+    next_ = 0;
+    wake_.notify_all();
+
+    // Participate in the batch.
+    while (next_ < count_) {
+        const std::size_t index = next_++;
+        lock.unlock();
+        task(index);
+        lock.lock();
+    }
+    idle_.wait(lock, [this] { return inflight_ == 0; });
+    task_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        wake_.wait(lock, [this] {
+            return stop_ || (task_ != nullptr && next_ < count_);
+        });
+        if (stop_)
+            return;
+        while (task_ != nullptr && next_ < count_) {
+            const std::size_t index = next_++;
+            ++inflight_;
+            const auto *task = task_;
+            lock.unlock();
+            (*task)(index);
+            lock.lock();
+            --inflight_;
+        }
+        if (inflight_ == 0)
+            idle_.notify_all();
+    }
+}
+
+} // namespace ramp::runner

@@ -1,0 +1,369 @@
+#include "runner/profile_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace ramp::runner
+{
+
+namespace
+{
+
+constexpr char diskMagic[8] = {'R', 'A', 'M', 'P',
+                               'P', 'R', 'F', '1'};
+
+/** FNV-1a 64-bit hash, for cache file names. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/** Exact textual form of a double (round-trips via hexfloat). */
+std::string
+exact(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%a", value);
+    return buffer;
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(
+            static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putString(std::vector<std::uint8_t> &out, const std::string &text)
+{
+    putU64(out, text.size());
+    out.insert(out.end(), text.begin(), text.end());
+}
+
+void
+putDramStats(std::vector<std::uint8_t> &out, const DramStats &stats)
+{
+    putU64(out, stats.reads);
+    putU64(out, stats.writes);
+    putU64(out, stats.rowHits);
+    putU64(out, stats.rowMisses);
+    putU64(out, stats.busBusyCycles);
+    putU64(out, stats.totalReadLatency);
+}
+
+/** Bounds-checked little-endian reader over a byte buffer. */
+struct ByteReader
+{
+    const std::vector<std::uint8_t> &bytes;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    std::uint64_t u64()
+    {
+        if (pos + 8 > bytes.size()) {
+            ok = false;
+            return 0;
+        }
+        std::uint64_t value = 0;
+        for (int i = 0; i < 8; ++i)
+            value |= static_cast<std::uint64_t>(bytes[pos + i])
+                     << (8 * i);
+        pos += 8;
+        return value;
+    }
+
+    double f64()
+    {
+        const std::uint64_t bits = u64();
+        double value;
+        std::memcpy(&value, &bits, sizeof(value));
+        return value;
+    }
+
+    std::string str()
+    {
+        const std::uint64_t size = u64();
+        if (!ok || pos + size > bytes.size()) {
+            ok = false;
+            return {};
+        }
+        std::string text(bytes.begin() +
+                             static_cast<std::ptrdiff_t>(pos),
+                         bytes.begin() +
+                             static_cast<std::ptrdiff_t>(pos + size));
+        pos += size;
+        return text;
+    }
+
+    DramStats dramStats()
+    {
+        DramStats stats;
+        stats.reads = u64();
+        stats.writes = u64();
+        stats.rowHits = u64();
+        stats.rowMisses = u64();
+        stats.busBusyCycles = u64();
+        stats.totalReadLatency = u64();
+        return stats;
+    }
+};
+
+void
+appendDramConfig(std::ostringstream &out, const DramConfig &config)
+{
+    out << config.name << ',' << static_cast<int>(config.id) << ','
+        << config.capacityBytes << ',' << config.channels << ','
+        << config.ranksPerChannel << ',' << config.banksPerRank
+        << ',' << config.rowBytes << ',' << config.timing.tRCD
+        << ',' << config.timing.tRP << ',' << config.timing.tCL
+        << ',' << config.timing.tCWL << ',' << config.timing.tRAS
+        << ',' << config.timing.tBURST;
+}
+
+} // namespace
+
+void
+ProfileCache::setDiskDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    disk_dir_ = std::move(dir);
+}
+
+std::string
+ProfileCache::fingerprint(const SystemConfig &config,
+                          const WorkloadSpec &spec,
+                          const GeneratorOptions &options)
+{
+    std::ostringstream out;
+    out << "spec=" << spec.name << ";benchmarks=";
+    for (const auto &bench : spec.coreBenchmarks)
+        out << bench << ',';
+    out << ";gen=" << options.seed << ','
+        << exact(options.traceScale) << ',' << options.cpuLevel
+        << ',' << options.hitBurst;
+    out << ";cpu=" << config.cores << ',' << config.issueWidth
+        << ',' << config.robSize << ','
+        << config.maxOutstandingReads;
+    out << ";hbm=";
+    appendDramConfig(out, config.hbm);
+    out << ";ddr=";
+    appendDramConfig(out, config.ddr);
+    out << ";ser=" << exact(config.ser.fitUncHbmPerGB) << ','
+        << exact(config.ser.fitUncDdrPerGB);
+    return out.str();
+}
+
+std::vector<std::uint8_t>
+ProfileCache::serializeBaseline(const std::string &fingerprint,
+                                const SimResult &base)
+{
+    std::vector<std::uint8_t> out;
+    out.insert(out.end(), diskMagic, diskMagic + sizeof(diskMagic));
+    putString(out, fingerprint);
+    putString(out, base.label);
+    putU64(out, base.makespan);
+    putU64(out, base.instructions);
+    putU64(out, base.requests);
+    putU64(out, base.reads);
+    putU64(out, base.writes);
+    putF64(out, base.ipc);
+    putF64(out, base.mpki);
+    putF64(out, base.avgReadLatency);
+    putF64(out, base.hbmAccessFraction);
+    putDramStats(out, base.hbmStats);
+    putDramStats(out, base.ddrStats);
+    putU64(out, base.migratedPages);
+    putU64(out, base.migrationEvents);
+    putF64(out, base.memoryAvf);
+    putF64(out, base.ser);
+
+    // Per-page profile, sorted for a canonical byte stream.
+    auto pages = base.profile.entries();
+    std::sort(pages.begin(), pages.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    putU64(out, pages.size());
+    for (const auto &[page, stats] : pages) {
+        putU64(out, page);
+        putU64(out, stats.reads);
+        putU64(out, stats.writes);
+        putF64(out, stats.avf);
+    }
+    return out;
+}
+
+bool
+ProfileCache::deserializeBaseline(
+    const std::vector<std::uint8_t> &bytes,
+    const std::string &fingerprint, SimResult &base)
+{
+    if (bytes.size() < sizeof(diskMagic) ||
+        std::memcmp(bytes.data(), diskMagic, sizeof(diskMagic)) != 0)
+        return false;
+
+    ByteReader in{bytes, sizeof(diskMagic)};
+    if (in.str() != fingerprint || !in.ok)
+        return false;
+
+    SimResult result;
+    result.label = in.str();
+    result.makespan = in.u64();
+    result.instructions = in.u64();
+    result.requests = in.u64();
+    result.reads = in.u64();
+    result.writes = in.u64();
+    result.ipc = in.f64();
+    result.mpki = in.f64();
+    result.avgReadLatency = in.f64();
+    result.hbmAccessFraction = in.f64();
+    result.hbmStats = in.dramStats();
+    result.ddrStats = in.dramStats();
+    result.migratedPages = in.u64();
+    result.migrationEvents = in.u64();
+    result.memoryAvf = in.f64();
+    result.ser = in.f64();
+
+    const std::uint64_t page_count = in.u64();
+    for (std::uint64_t i = 0; i < page_count && in.ok; ++i) {
+        const PageId page = in.u64();
+        PageStats stats;
+        stats.reads = in.u64();
+        stats.writes = in.u64();
+        stats.avf = in.f64();
+        result.profile.setStats(page, stats);
+    }
+    if (!in.ok)
+        return false;
+    base = std::move(result);
+    return true;
+}
+
+std::string
+ProfileCache::diskPathFor(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.profile",
+                  static_cast<unsigned long long>(fnv1a(key)));
+    return disk_dir_ + "/" + name;
+}
+
+ProfiledWorkloadPtr
+ProfileCache::compute(const SystemConfig &config,
+                      const WorkloadSpec &spec,
+                      const GeneratorOptions &options,
+                      const std::string &key)
+{
+    auto profiled = std::make_shared<ProfiledWorkload>();
+    profiled->data = prepareWorkload(spec, options);
+
+    std::string disk_path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!disk_dir_.empty())
+            disk_path = diskPathFor(key);
+    }
+
+    if (!disk_path.empty()) {
+        std::ifstream in(disk_path, std::ios::binary);
+        if (in) {
+            std::vector<std::uint8_t> bytes(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            if (deserializeBaseline(bytes, key, profiled->base)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.diskHits;
+                return profiled;
+            }
+        }
+    }
+
+    profiled->base = runDdrOnly(config, profiled->data);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+    }
+
+    if (!disk_path.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(disk_path).parent_path(), ec);
+        const std::string tmp =
+            disk_path + ".tmp" + std::to_string(::getpid());
+        const auto bytes = serializeBaseline(key, profiled->base);
+        std::ofstream out(tmp, std::ios::binary);
+        if (out) {
+            out.write(reinterpret_cast<const char *>(bytes.data()),
+                      static_cast<std::streamsize>(bytes.size()));
+            out.close();
+            std::filesystem::rename(tmp, disk_path, ec);
+            if (!ec) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.diskWrites;
+            } else {
+                std::filesystem::remove(tmp, ec);
+            }
+        }
+    }
+    return profiled;
+}
+
+ProfiledWorkloadPtr
+ProfileCache::get(const SystemConfig &config,
+                  const WorkloadSpec &spec,
+                  const GeneratorOptions &options)
+{
+    const std::string key = fingerprint(config, spec, options);
+
+    std::shared_future<ProfiledWorkloadPtr> future;
+    std::promise<ProfiledWorkloadPtr> promise;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            future = it->second;
+            ++stats_.memoryHits;
+        } else {
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            owner = true;
+        }
+    }
+
+    if (owner)
+        promise.set_value(compute(config, spec, options, key));
+    return future.get();
+}
+
+ProfileCacheStats
+ProfileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace ramp::runner

@@ -1,0 +1,203 @@
+#include "runner/report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace ramp::runner
+{
+
+double
+meanRatio(std::span<const double> ratios)
+{
+    return mean(ratios);
+}
+
+double
+RatioColumn::mean() const
+{
+    return meanRatio(values_);
+}
+
+std::string
+RatioColumn::averageCell(int precision) const
+{
+    if (values_.empty())
+        return "-";
+    return TextTable::ratio(mean(), precision);
+}
+
+std::string
+RatioColumn::lossCell(int precision) const
+{
+    if (values_.empty())
+        return "-";
+    return TextTable::percent(1.0 - mean(), precision);
+}
+
+RunnerOptions
+RunnerOptions::parse(int argc, char **argv)
+{
+    RunnerOptions options;
+    if (const char *env = std::getenv("RAMP_JSON"))
+        options.jsonPath = env;
+    if (const char *env = std::getenv("RAMP_CACHE_DIR"))
+        options.cacheDir = env;
+    // RAMP_JOBS is honoured by ThreadPool::defaultJobs(); jobs = 0
+    // defers to it.
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            const std::string text = value("--jobs");
+            char *end = nullptr;
+            const long parsed =
+                std::strtol(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || parsed < 1) {
+                std::fprintf(stderr,
+                             "--jobs needs a positive integer, got "
+                             "'%s'\n",
+                             text.c_str());
+                std::exit(2);
+            }
+            options.jobs = static_cast<unsigned>(parsed);
+        } else if (arg == "--json") {
+            options.jsonPath = value("--json");
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = value("--cache-dir");
+        } else {
+            options.positional.push_back(arg);
+        }
+    }
+    return options;
+}
+
+const char *
+RunnerOptions::flagsHelp()
+{
+    return "  --jobs N        parallel simulation passes "
+           "(default: all cores; env RAMP_JOBS)\n"
+           "  --json PATH     write machine-readable results "
+           "(env RAMP_JSON)\n"
+           "  --cache-dir D   persist profiling passes on disk "
+           "(env RAMP_CACHE_DIR)\n";
+}
+
+Report::Report(std::string tool)
+    : tool_(std::move(tool))
+{
+}
+
+void
+Report::add(const std::string &workload, const SimResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    passes_.push_back({workload, result});
+}
+
+std::vector<PassRecord>
+Report::passes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return passes_;
+}
+
+namespace
+{
+
+/** JSON string escaping (control characters, quotes, backslash). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Finite JSON number (JSON has no inf/nan; clamp to 0). */
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    std::ostringstream out;
+    out.precision(17);
+    out << value;
+    return out.str();
+}
+
+} // namespace
+
+bool
+Report::writeJson(const std::string &path, unsigned jobs,
+                  const ProfileCacheStats &cache_stats) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+
+    const auto passes = this->passes();
+    out << "{\n"
+        << "  \"tool\": \"" << jsonEscape(tool_) << "\",\n"
+        << "  \"jobs\": " << jobs << ",\n"
+        << "  \"profile_cache\": {\n"
+        << "    \"memory_hits\": " << cache_stats.memoryHits
+        << ",\n"
+        << "    \"disk_hits\": " << cache_stats.diskHits << ",\n"
+        << "    \"misses\": " << cache_stats.misses << ",\n"
+        << "    \"disk_writes\": " << cache_stats.diskWrites << "\n"
+        << "  },\n"
+        << "  \"passes\": [\n";
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+        const auto &[workload, r] = passes[i];
+        out << "    {\"workload\": \"" << jsonEscape(workload)
+            << "\", \"label\": \"" << jsonEscape(r.label) << "\""
+            << ", \"ipc\": " << jsonNumber(r.ipc)
+            << ", \"mpki\": " << jsonNumber(r.mpki)
+            << ", \"ser\": " << jsonNumber(r.ser)
+            << ", \"memory_avf\": " << jsonNumber(r.memoryAvf)
+            << ", \"makespan\": " << r.makespan
+            << ", \"instructions\": " << r.instructions
+            << ", \"requests\": " << r.requests
+            << ", \"avg_read_latency\": "
+            << jsonNumber(r.avgReadLatency)
+            << ", \"hbm_access_fraction\": "
+            << jsonNumber(r.hbmAccessFraction)
+            << ", \"migrated_pages\": " << r.migratedPages
+            << ", \"migration_events\": " << r.migrationEvents
+            << "}" << (i + 1 < passes.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace ramp::runner

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner (src/runner): the
+ * deterministic thread pool, the profile cache (memory and disk
+ * layers), the result sink, and FaultSim trial sharding.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reliability/faultsim.hh"
+#include "runner/harness.hh"
+
+namespace ramp
+{
+namespace
+{
+
+using runner::ProfileCache;
+using runner::ProfiledWorkloadPtr;
+using runner::RatioColumn;
+using runner::RunnerOptions;
+using runner::ThreadPool;
+
+GeneratorOptions
+smallTraces()
+{
+    GeneratorOptions options;
+    options.traceScale = 0.02;
+    return options;
+}
+
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.migratedPages, b.migratedPages);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_DOUBLE_EQ(a.mpki, b.mpki);
+    EXPECT_DOUBLE_EQ(a.ser, b.ser);
+    EXPECT_DOUBLE_EQ(a.memoryAvf, b.memoryAvf);
+    EXPECT_DOUBLE_EQ(a.avgReadLatency, b.avgReadLatency);
+    EXPECT_DOUBLE_EQ(a.hbmAccessFraction, b.hbmAccessFraction);
+}
+
+TEST(TaskSeed, DeterministicAndDistinct)
+{
+    EXPECT_EQ(runner::taskSeed(42, 0), runner::taskSeed(42, 0));
+    EXPECT_NE(runner::taskSeed(42, 0), runner::taskSeed(42, 1));
+    EXPECT_NE(runner::taskSeed(42, 0), runner::taskSeed(43, 0));
+    // Zero inputs must still produce a usable stream.
+    EXPECT_NE(runner::taskSeed(0, 0), 0u);
+}
+
+TEST(ThreadPool, MapIndexCollectsInOrder)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    const auto squares =
+        pool.mapIndex(100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 100u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.runIndexed(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, NestedMapDoesNotDeadlock)
+{
+    ThreadPool pool(2);
+    const auto sums = pool.mapIndex(8, [&](std::size_t outer) {
+        const auto inner = pool.mapIndex(
+            8, [&](std::size_t i) { return outer * 100 + i; });
+        std::size_t sum = 0;
+        for (const auto value : inner)
+            sum += value;
+        return sum;
+    });
+    for (std::size_t outer = 0; outer < sums.size(); ++outer)
+        EXPECT_EQ(sums[outer], outer * 800 + 28);
+}
+
+TEST(ThreadPool, SimulationPassesMatchSerial)
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+    const auto data =
+        prepareWorkload(homogeneousWorkload("astar"), smallTraces());
+    const SimResult base = runDdrOnly(config, data);
+
+    const std::vector<StaticPolicy> policies = {
+        StaticPolicy::PerfFocused, StaticPolicy::Balanced,
+        StaticPolicy::WrRatio, StaticPolicy::Wr2Ratio};
+
+    std::vector<SimResult> serial;
+    for (const StaticPolicy policy : policies)
+        serial.push_back(
+            runStaticPolicy(config, data, policy, base.profile));
+
+    ThreadPool pool(4);
+    const auto parallel =
+        pool.map(policies, [&](const StaticPolicy policy) {
+            return runStaticPolicy(config, data, policy,
+                                   base.profile);
+        });
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameResult(parallel[i], serial[i]);
+}
+
+TEST(ProfileCache, MemoryHitSharesOneComputation)
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+    ProfileCache cache;
+    const auto first = cache.get(
+        config, homogeneousWorkload("astar"), smallTraces());
+    const auto second = cache.get(
+        config, homogeneousWorkload("astar"), smallTraces());
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().memoryHits, 1u);
+    EXPECT_EQ(cache.stats().diskHits, 0u);
+    EXPECT_GT(first->profile().footprintPages(), 0u);
+}
+
+TEST(ProfileCache, DistinctKeysDistinctEntries)
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+    SystemConfig other = config;
+    other.robSize = config.robSize / 2;
+    ProfileCache cache;
+    const auto a = cache.get(config, homogeneousWorkload("astar"),
+                             smallTraces());
+    const auto b = cache.get(other, homogeneousWorkload("astar"),
+                             smallTraces());
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_NE(
+        ProfileCache::fingerprint(config,
+                                  homogeneousWorkload("astar"),
+                                  smallTraces()),
+        ProfileCache::fingerprint(other,
+                                  homogeneousWorkload("astar"),
+                                  smallTraces()));
+}
+
+TEST(ProfileCache, DiskLayerSkipsReprofiling)
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+    const std::string dir =
+        ::testing::TempDir() + "ramp_runner_cache";
+    std::filesystem::remove_all(dir); // stale runs must not hit
+    const auto spec = homogeneousWorkload("astar");
+
+    ProfileCache writer;
+    writer.setDiskDir(dir);
+    const auto computed = writer.get(config, spec, smallTraces());
+    EXPECT_EQ(writer.stats().misses, 1u);
+    EXPECT_EQ(writer.stats().diskWrites, 1u);
+
+    // A fresh process-equivalent: new cache, same directory.
+    ProfileCache reader;
+    reader.setDiskDir(dir);
+    const auto loaded = reader.get(config, spec, smallTraces());
+    EXPECT_EQ(reader.stats().misses, 0u);
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+
+    expectSameResult(loaded->base, computed->base);
+    EXPECT_EQ(loaded->profile().footprintPages(),
+              computed->profile().footprintPages());
+    for (const auto &[page, stats] : computed->profile().pages()) {
+        const auto restored = loaded->profile().statsOf(page);
+        EXPECT_EQ(restored.reads, stats.reads);
+        EXPECT_EQ(restored.writes, stats.writes);
+        EXPECT_DOUBLE_EQ(restored.avf, stats.avf);
+    }
+    // Traces are regenerated, not stored: same shape either way.
+    ASSERT_EQ(loaded->data.traces.size(),
+              computed->data.traces.size());
+}
+
+TEST(ProfileCache, BaselineRoundTripRejectsMismatch)
+{
+    const SystemConfig config = SystemConfig::scaledDefault();
+    const auto data =
+        prepareWorkload(homogeneousWorkload("astar"), smallTraces());
+    const SimResult base = runDdrOnly(config, data);
+
+    const auto bytes =
+        ProfileCache::serializeBaseline("key-a", base);
+    SimResult restored;
+    ASSERT_TRUE(
+        ProfileCache::deserializeBaseline(bytes, "key-a", restored));
+    expectSameResult(restored, base);
+
+    SimResult rejected;
+    EXPECT_FALSE(ProfileCache::deserializeBaseline(bytes, "key-b",
+                                                   rejected));
+    auto truncated = bytes;
+    truncated.resize(truncated.size() / 2);
+    EXPECT_FALSE(ProfileCache::deserializeBaseline(
+        truncated, "key-a", rejected));
+}
+
+TEST(FaultSim, ShardingIndependentOfPool)
+{
+    const FaultSim sim(FaultSimConfig::hbmSecDed());
+    // 125000 trials = two shards; run serially and on two pools.
+    const auto serial = sim.run(125000, 42);
+    ThreadPool pool2(2), pool4(4);
+    const auto on2 = sim.run(125000, 42, &pool2);
+    const auto on4 = sim.run(125000, 42, &pool4);
+    for (const auto *result : {&on2, &on4}) {
+        EXPECT_DOUBLE_EQ(result->pUncorrected, serial.pUncorrected);
+        EXPECT_DOUBLE_EQ(result->fitUncorrectedPerRank,
+                         serial.fitUncorrectedPerRank);
+        EXPECT_DOUBLE_EQ(result->fitUncorrectedPerGB,
+                         serial.fitUncorrectedPerGB);
+    }
+}
+
+TEST(RatioColumn, MeanAndCells)
+{
+    RatioColumn empty;
+    EXPECT_EQ(empty.mean(), 0.0);
+    EXPECT_EQ(empty.averageCell(), "-");
+
+    RatioColumn column;
+    EXPECT_DOUBLE_EQ(column.add(0.8), 0.8);
+    column.add(0.9);
+    EXPECT_NEAR(column.mean(), 0.85, 1e-12);
+    EXPECT_EQ(column.averageCell(), "0.85x");
+    EXPECT_EQ(column.lossCell(), "15.0%");
+    EXPECT_DOUBLE_EQ(
+        runner::meanRatio(std::span<const double>(column.values())),
+        column.mean());
+}
+
+TEST(RunnerOptions, ParsesFlagsAndPositionals)
+{
+    const char *argv[] = {"tool",  "--jobs", "3",     "alpha",
+                          "--json", "out.json", "-j",  "5",
+                          "--cache-dir", "cachedir", "beta"};
+    const auto options = RunnerOptions::parse(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv));
+    EXPECT_EQ(options.jobs, 5u);
+    EXPECT_EQ(options.jsonPath, "out.json");
+    EXPECT_EQ(options.cacheDir, "cachedir");
+    ASSERT_EQ(options.positional.size(), 2u);
+    EXPECT_EQ(options.positional[0], "alpha");
+    EXPECT_EQ(options.positional[1], "beta");
+}
+
+TEST(Harness, RecordsAndWritesJson)
+{
+    RunnerOptions options;
+    options.jobs = 2;
+    options.jsonPath =
+        ::testing::TempDir() + "ramp_runner_report.json";
+    std::remove(options.jsonPath.c_str());
+
+    runner::Harness harness("test_tool", options);
+    const auto wl =
+        harness.profile(homogeneousWorkload("astar"), smallTraces());
+    const auto perf = runStaticPolicy(
+        harness.config(), wl->data, StaticPolicy::PerfFocused,
+        wl->profile());
+    harness.record(wl->name(), perf);
+    // profile() recorded the baseline, record() the perf pass.
+    EXPECT_EQ(harness.report().passes().size(), 2u);
+    EXPECT_EQ(harness.finish(), 0);
+
+    std::ifstream in(options.jsonPath);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    EXPECT_NE(json.find("\"tool\": \"test_tool\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"profile_cache\""), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\""), std::string::npos);
+    EXPECT_NE(json.find("\"workload\": \"astar\""),
+              std::string::npos);
+    std::remove(options.jsonPath.c_str());
+}
+
+} // namespace
+} // namespace ramp
