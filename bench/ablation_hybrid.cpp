@@ -22,67 +22,71 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("ablation_hybrid", argc, argv);
-    const SystemConfig &config = harness.config();
+    return benchMain("ablation_hybrid", [&] {
+        Harness harness("ablation_hybrid", argc, argv);
+        const SystemConfig &config = harness.config();
 
-    const auto profiled = harness.profileAll(standardWorkloads());
+        const auto profiled = harness.profileAll(standardWorkloads());
 
-    struct Passes
-    {
-        SimResult annotated;
-        SimResult hybrid;
-    };
-    const auto passes = harness.mapWorkloads(
-        profiled, [&](const ProfiledWorkloadPtr &wl) {
-            Passes out;
-            out.annotated =
-                runAnnotated(config, wl->data, wl->profile());
+        struct Passes
+        {
+            SimResult annotated;
+            SimResult hybrid;
+        };
+        const auto passes = harness.mapWorkloads(
+            profiled, [&](const ProfiledWorkloadPtr &wl) {
+                Passes out;
+                out.annotated =
+                    runAnnotated(config, wl->data, wl->profile());
 
-            const auto selection = annotationsFor(
-                wl->data, wl->profile(), config.hbmPages() / 2);
-            auto pinned_half = buildAnnotatedPlacement(
-                wl->data.layout, selection, config.hbmPages() / 2);
-            // Give the full HBM to the run: the other half is the
-            // engine's to manage.
-            PlacementMap placement(config.hbmPages());
-            for (const PageId page : pinned_half.hbmPages())
-                placement.placePinned(page, MemoryId::HBM);
-            const auto engine =
-                makeEngine(DynamicScheme::FcReliability, config);
-            HmaSystem system(config);
-            out.hybrid = system.run(wl->data.traces,
-                                    std::move(placement),
-                                    engine.get());
-            return out;
-        });
+                const auto selection = annotationsFor(
+                    wl->data, wl->profile(), config.hbmPages() / 2);
+                auto pinned_half = buildAnnotatedPlacement(
+                    wl->data.layout, selection,
+                    config.hbmPages() / 2);
+                // Give the full HBM to the run: the other half is
+                // the engine's to manage.
+                PlacementMap placement(config.hbmPages());
+                for (const PageId page : pinned_half.hbmPages())
+                    placement.placePinned(page, MemoryId::HBM);
+                const auto engine =
+                    makeEngine(DynamicScheme::FcReliability, config);
+                HmaSystem system(config);
+                out.hybrid = system.run(wl->data.traces,
+                                        std::move(placement),
+                                        engine.get());
+                return out;
+            });
 
-    TextTable table({"workload", "annot IPC", "hybrid IPC",
-                     "annot SER", "hybrid SER", "hybrid moved"});
-    RatioColumn ipc_gain, ser_gain;
+        TextTable table({"workload", "annot IPC", "hybrid IPC",
+                         "annot SER", "hybrid SER", "hybrid moved"});
+        RatioColumn ipc_gain, ser_gain;
 
-    for (std::size_t i = 0; i < profiled.size(); ++i) {
-        const auto &wl = *profiled[i];
-        const auto &annotated =
-            harness.record(wl.name(), passes[i].annotated);
-        const auto &hybrid =
-            harness.record(wl.name(), passes[i].hybrid);
+        for (std::size_t i = 0; i < profiled.size(); ++i) {
+            const auto &wl = *profiled[i];
+            const auto &annotated =
+                harness.record(wl.name(), passes[i].annotated);
+            const auto &hybrid =
+                harness.record(wl.name(), passes[i].hybrid);
 
-        ipc_gain.add(hybrid.ipc / annotated.ipc);
-        ser_gain.add(annotated.ser / hybrid.ser);
-        table.addRow({
-            wl.name(),
-            TextTable::ratio(annotated.ipc / wl.base.ipc),
-            TextTable::ratio(hybrid.ipc / wl.base.ipc),
-            TextTable::ratio(annotated.ser / wl.base.ser, 1),
-            TextTable::ratio(hybrid.ser / wl.base.ser, 1),
-            TextTable::num(hybrid.migratedPages),
-        });
-    }
-    table.print(std::cout,
-                "Ablation: annotations + FC migration "
-                "(Section 7 future-work suggestion)");
-    std::cout << "\nhybrid vs annotation-only: IPC "
-              << TextTable::ratio(ipc_gain.mean()) << ", SER reduction "
-              << TextTable::ratio(ser_gain.mean(), 2) << "\n";
-    return harness.finish();
+            ipc_gain.add(hybrid.ipc / annotated.ipc);
+            ser_gain.add(annotated.ser / hybrid.ser);
+            table.addRow({
+                wl.name(),
+                TextTable::ratio(annotated.ipc / wl.base.ipc),
+                TextTable::ratio(hybrid.ipc / wl.base.ipc),
+                TextTable::ratio(annotated.ser / wl.base.ser, 1),
+                TextTable::ratio(hybrid.ser / wl.base.ser, 1),
+                TextTable::num(hybrid.migratedPages),
+            });
+        }
+        table.print(std::cout,
+                    "Ablation: annotations + FC migration "
+                    "(Section 7 future-work suggestion)");
+        std::cout << "\nhybrid vs annotation-only: IPC "
+                  << TextTable::ratio(ipc_gain.mean())
+                  << ", SER reduction "
+                  << TextTable::ratio(ser_gain.mean(), 2) << "\n";
+        return harness.finish();
+    });
 }

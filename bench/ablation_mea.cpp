@@ -17,80 +17,85 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("ablation_mea", argc, argv);
-    const SystemConfig &config = harness.config();
+    return benchMain("ablation_mea", [&] {
+        Harness harness("ablation_mea", argc, argv);
+        const SystemConfig &config = harness.config();
 
-    const std::vector<WorkloadSpec> specs = {
-        homogeneousWorkload("cactusADM"), mixWorkload("mix1")};
-    const auto profiled = harness.profileAll(specs);
+        const std::vector<WorkloadSpec> specs = {
+            homogeneousWorkload("cactusADM"), mixWorkload("mix1")};
+        const auto profiled = harness.profileAll(specs);
 
-    // The perf-focused migration baseline does not depend on the
-    // swept MEA parameters: one pass per workload.
-    const auto perf = harness.mapWorkloads(
-        profiled, [&](const ProfiledWorkloadPtr &wl) {
-            return runDynamic(config, wl->data,
-                              DynamicScheme::PerfFocused,
-                              wl->profile());
-        });
-    for (std::size_t w = 0; w < profiled.size(); ++w)
-        harness.record(profiled[w]->name(), perf[w]);
+        // The perf-focused migration baseline does not depend on the
+        // swept MEA parameters: one pass per workload.
+        const auto perf = harness.mapWorkloads(
+            profiled, [&](const ProfiledWorkloadPtr &wl) {
+                return runDynamic(config, wl->data,
+                                  DynamicScheme::PerfFocused,
+                                  wl->profile());
+            });
+        for (std::size_t w = 0; w < profiled.size(); ++w)
+            harness.record(profiled[w]->name(), perf[w]);
 
-    const std::vector<std::size_t> entry_counts = {8, 16, 32, 64};
-    const std::vector<std::uint32_t> caps = {4, 8, 16};
-    struct Point
-    {
-        std::size_t entries;
-        std::uint32_t cap;
-        std::size_t workload;
-    };
-    std::vector<Point> points;
-    for (const std::size_t entries : entry_counts)
-        for (const std::uint32_t cap : caps)
-            for (std::size_t w = 0; w < profiled.size(); ++w)
-                points.push_back({entries, cap, w});
+        const std::vector<std::size_t> entry_counts = {8, 16, 32,
+                                                       64};
+        const std::vector<std::uint32_t> caps = {4, 8, 16};
+        struct Point
+        {
+            std::size_t entries;
+            std::uint32_t cap;
+            std::size_t workload;
+        };
+        std::vector<Point> points;
+        for (const std::size_t entries : entry_counts)
+            for (const std::uint32_t cap : caps)
+                for (std::size_t w = 0; w < profiled.size(); ++w)
+                    points.push_back({entries, cap, w});
 
-    struct Pass
-    {
-        SimResult result;
-        double remapHitRatio = 0;
-    };
-    const auto passes =
-        harness.pool().map(points, [&](const Point &point) {
+        struct Pass
+        {
+            SimResult result;
+            double remapHitRatio = 0;
+        };
+        const auto passes =
+            harness.pool().map(points, [&](const Point &point) {
+                const auto &wl = *profiled[point.workload];
+                CrossCounterMigration engine(
+                    config.meaIntervalCycles, config.fcPerMea(),
+                    point.entries, point.cap,
+                    config.fcMigrationCapPages);
+                Pass out;
+                out.result = runWithEngine(config, wl.data, engine,
+                                           wl.profile());
+                out.result.label +=
+                    "@mea" + std::to_string(point.entries) + "x" +
+                    std::to_string(point.cap);
+                out.remapHitRatio = engine.remapCache().hitRatio();
+                return out;
+            });
+
+        TextTable table({"MEA entries", "promo cap", "workload",
+                         "IPC vs perf-mig", "SER reduction",
+                         "remap hit ratio"});
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Point &point = points[i];
             const auto &wl = *profiled[point.workload];
-            CrossCounterMigration engine(
-                config.meaIntervalCycles, config.fcPerMea(),
-                point.entries, point.cap,
-                config.fcMigrationCapPages);
-            Pass out;
-            out.result = runWithEngine(config, wl.data, engine,
-                                       wl.profile());
-            out.result.label += "@mea" +
-                                std::to_string(point.entries) + "x" +
-                                std::to_string(point.cap);
-            out.remapHitRatio = engine.remapCache().hitRatio();
-            return out;
-        });
-
-    TextTable table({"MEA entries", "promo cap", "workload",
-                     "IPC vs perf-mig", "SER reduction",
-                     "remap hit ratio"});
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const Point &point = points[i];
-        const auto &wl = *profiled[point.workload];
-        const auto &result =
-            harness.record(wl.name(), passes[i].result);
-        table.addRow({
-            TextTable::num(
-                static_cast<std::uint64_t>(point.entries)),
-            TextTable::num(static_cast<std::uint64_t>(point.cap)),
-            wl.name(),
-            TextTable::ratio(result.ipc / perf[point.workload].ipc),
-            TextTable::ratio(perf[point.workload].ser / result.ser,
-                             1),
-            TextTable::percent(passes[i].remapHitRatio),
-        });
-    }
-    table.print(std::cout,
-                "Ablation: MEA entries x promotion budget");
-    return harness.finish();
+            const auto &result =
+                harness.record(wl.name(), passes[i].result);
+            table.addRow({
+                TextTable::num(
+                    static_cast<std::uint64_t>(point.entries)),
+                TextTable::num(
+                    static_cast<std::uint64_t>(point.cap)),
+                wl.name(),
+                TextTable::ratio(result.ipc /
+                                 perf[point.workload].ipc),
+                TextTable::ratio(
+                    perf[point.workload].ser / result.ser, 1),
+                TextTable::percent(passes[i].remapHitRatio),
+            });
+        }
+        table.print(std::cout,
+                    "Ablation: MEA entries x promotion budget");
+        return harness.finish();
+    });
 }

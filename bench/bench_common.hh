@@ -4,17 +4,22 @@
  *
  * Every bench binary regenerates one paper table or figure on the
  * src/runner subsystem: a Harness parses the shared flags (--jobs,
- * --json, --cache-dir), profiles workloads through the process-wide
- * (and optionally on-disk) profile cache, fans the policy passes out
- * over the thread pool with deterministic, ordered results, and
- * records every pass into the JSON report. See DESIGN.md Section 3
- * for the experiment index and EXPERIMENTS.md for paper-vs-measured
- * values.
+ * --json, --cache-dir, --checkpoint, --pass-timeout), profiles
+ * workloads through the process-wide (and optionally on-disk)
+ * profile cache, fans the policy passes out over the thread pool
+ * with deterministic, ordered, fault-contained results, and records
+ * every pass into the JSON report. main() wraps its body in
+ * runner::benchMain, which installs the SIGINT/SIGTERM handlers and
+ * maps failures onto exit codes (usage 2, cancelled 128+signal,
+ * anything else 1; Harness::finish() returns 3 when a pass failed).
+ * See DESIGN.md Section 3 for the experiment index and
+ * EXPERIMENTS.md for paper-vs-measured values.
  */
 
 #ifndef RAMP_BENCH_BENCH_COMMON_HH
 #define RAMP_BENCH_BENCH_COMMON_HH
 
+#include <cctype>
 #include <string>
 #include <vector>
 
@@ -27,10 +32,24 @@ namespace ramp::bench
 {
 
 using runner::Harness;
+using runner::PassDesc;
+using runner::PassOutcome;
 using runner::ProfiledWorkload;
 using runner::ProfiledWorkloadPtr;
 using runner::RatioColumn;
+using runner::benchMain;
 using runner::meanRatio;
+
+/** Table cell for a pass that produced no metrics ("FAILED"...). */
+inline std::string
+statusCell(const PassOutcome &outcome)
+{
+    std::string name = runner::passStatusName(outcome.status);
+    for (auto &c : name)
+        c = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+    return name;
+}
 
 } // namespace ramp::bench
 

@@ -22,68 +22,73 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("calibration_probe", argc, argv);
-    const SystemConfig &config = harness.config();
+    return benchMain("calibration_probe", [&] {
+        Harness harness("calibration_probe", argc, argv);
+        const SystemConfig &config = harness.config();
 
-    const auto profiled = harness.profileAll(standardWorkloads());
+        const auto profiled = harness.profileAll(standardWorkloads());
 
-    struct Passes
-    {
-        SimResult perf;
-        SimResult mig;
-    };
-    const auto passes = harness.mapWorkloads(
-        profiled, [&](const ProfiledWorkloadPtr &wl) {
-            Passes out;
-            out.perf = runStaticPolicy(config, wl->data,
-                                       StaticPolicy::PerfFocused,
-                                       wl->profile());
-            out.mig =
-                runDynamic(config, wl->data,
-                           DynamicScheme::PerfFocused, wl->profile());
-            return out;
-        });
+        struct Passes
+        {
+            SimResult perf;
+            SimResult mig;
+        };
+        const auto passes = harness.mapWorkloads(
+            profiled, [&](const ProfiledWorkloadPtr &wl) {
+                Passes out;
+                out.perf = runStaticPolicy(config, wl->data,
+                                           StaticPolicy::PerfFocused,
+                                           wl->profile());
+                out.mig = runDynamic(config, wl->data,
+                                     DynamicScheme::PerfFocused,
+                                     wl->profile());
+                return out;
+            });
 
-    TextTable table({"workload", "pages", "AVF", "MPKI", "IPCddr",
-                     "IPCperf", "SERperf", "hot&low", "r(h,a)",
-                     "r(wr,a)", "mig/int", "ints"});
+        TextTable table({"workload", "pages", "AVF", "MPKI",
+                         "IPCddr", "IPCperf", "SERperf", "hot&low",
+                         "r(h,a)", "r(wr,a)", "mig/int", "ints"});
 
-    for (std::size_t i = 0; i < profiled.size(); ++i) {
-        const auto &wl = *profiled[i];
-        const PageProfile &profile = wl.profile();
-        const auto &perf = harness.record(wl.name(), passes[i].perf);
-        const auto &mig = harness.record(wl.name(), passes[i].mig);
+        for (std::size_t i = 0; i < profiled.size(); ++i) {
+            const auto &wl = *profiled[i];
+            const PageProfile &profile = wl.profile();
+            const auto &perf =
+                harness.record(wl.name(), passes[i].perf);
+            const auto &mig =
+                harness.record(wl.name(), passes[i].mig);
 
-        const auto quadrants = analyzeQuadrants(profile);
+            const auto quadrants = analyzeQuadrants(profile);
 
-        std::vector<double> hot, avf, wr;
-        for (const auto &[page, stats] : profile.pages()) {
-            hot.push_back(static_cast<double>(stats.hotness()));
-            avf.push_back(stats.avf);
-            wr.push_back(stats.wrRatio());
+            std::vector<double> hot, avf, wr;
+            for (const auto &[page, stats] : profile.pages()) {
+                hot.push_back(static_cast<double>(stats.hotness()));
+                avf.push_back(stats.avf);
+                wr.push_back(stats.wrRatio());
+            }
+
+            const double intervals =
+                static_cast<double>(mig.makespan) /
+                static_cast<double>(config.fcIntervalCycles);
+            table.addRow({
+                wl.name(),
+                TextTable::num(static_cast<std::uint64_t>(
+                    profile.footprintPages())),
+                TextTable::percent(wl.base.memoryAvf),
+                TextTable::num(wl.base.mpki, 1),
+                TextTable::num(wl.base.ipc, 2),
+                TextTable::ratio(perf.ipc / wl.base.ipc),
+                TextTable::ratio(perf.ser / wl.base.ser, 1),
+                TextTable::percent(quadrants.hotLowRiskFraction()),
+                TextTable::num(pearsonCorrelation(hot, avf), 2),
+                TextTable::num(pearsonCorrelation(wr, avf), 2),
+                TextTable::num(static_cast<std::uint64_t>(
+                    static_cast<double>(mig.migratedPages) /
+                    std::max(1.0, intervals))),
+                TextTable::num(intervals, 1),
+            });
         }
-
-        const double intervals =
-            static_cast<double>(mig.makespan) /
-            static_cast<double>(config.fcIntervalCycles);
-        table.addRow({
-            wl.name(),
-            TextTable::num(
-                static_cast<std::uint64_t>(profile.footprintPages())),
-            TextTable::percent(wl.base.memoryAvf),
-            TextTable::num(wl.base.mpki, 1),
-            TextTable::num(wl.base.ipc, 2),
-            TextTable::ratio(perf.ipc / wl.base.ipc),
-            TextTable::ratio(perf.ser / wl.base.ser, 1),
-            TextTable::percent(quadrants.hotLowRiskFraction()),
-            TextTable::num(pearsonCorrelation(hot, avf), 2),
-            TextTable::num(pearsonCorrelation(wr, avf), 2),
-            TextTable::num(static_cast<std::uint64_t>(
-                static_cast<double>(mig.migratedPages) /
-                std::max(1.0, intervals))),
-            TextTable::num(intervals, 1),
-        });
-    }
-    table.print(std::cout, "calibration probe (DESIGN.md Section 5)");
-    return harness.finish();
+        table.print(std::cout,
+                    "calibration probe (DESIGN.md Section 5)");
+        return harness.finish();
+    });
 }

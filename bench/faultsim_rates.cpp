@@ -22,6 +22,7 @@
 #include "common/table.hh"
 #include "reliability/faultsim.hh"
 #include "reliability/ser.hh"
+#include "runner/harness.hh"
 #include "runner/report.hh"
 
 using namespace ramp;
@@ -29,53 +30,60 @@ using namespace ramp;
 int
 main(int argc, char **argv)
 {
-    const auto options = runner::RunnerOptions::parse(argc, argv);
-    runner::ThreadPool pool(options.jobs);
+    return runner::benchMain("faultsim_rates", [&] {
+        const auto options =
+            runner::RunnerOptions::parse(argc, argv);
+        runner::ThreadPool pool(options.jobs);
 
-    TextTable table({"configuration", "trials", "P(UE)/horizon",
-                     "FIT_unc per rank", "FIT_unc per GB"});
+        TextTable table({"configuration", "trials", "P(UE)/horizon",
+                         "FIT_unc per rank", "FIT_unc per GB"});
 
-    auto report = [&](const FaultSimConfig &config,
-                      std::uint64_t trials) {
-        const FaultSim sim(config);
-        const auto result = sim.run(trials, /*seed=*/42, &pool);
-        table.addRow({config.name, TextTable::num(trials),
-                      TextTable::num(result.pUncorrected, 8),
-                      TextTable::num(result.fitUncorrectedPerRank, 4),
-                      TextTable::num(result.fitUncorrectedPerGB, 4)});
-        return result;
-    };
+        auto report = [&](const FaultSimConfig &config,
+                          std::uint64_t trials) {
+            const FaultSim sim(config);
+            const auto result = sim.run(trials, /*seed=*/42, &pool);
+            table.addRow(
+                {config.name, TextTable::num(trials),
+                 TextTable::num(result.pUncorrected, 8),
+                 TextTable::num(result.fitUncorrectedPerRank, 4),
+                 TextTable::num(result.fitUncorrectedPerGB, 4)});
+            return result;
+        };
 
-    const auto hbm = report(FaultSimConfig::hbmSecDed(), 100000);
+        const auto hbm = report(FaultSimConfig::hbmSecDed(), 100000);
 
-    auto ddr_config = FaultSimConfig::ddrChipKill();
-    ddr_config.fitBoost = 30.0; // rare-event acceleration
-    const auto ddr = report(ddr_config, 1000000);
+        auto ddr_config = FaultSimConfig::ddrChipKill();
+        ddr_config.fitBoost = 30.0; // rare-event acceleration
+        const auto ddr = report(ddr_config, 1000000);
 
-    table.print(std::cout,
-                "FaultSim: uncorrected-error rates (Section 3.2)");
-    std::cout << "\nHBM/DDR uncorrected FIT-per-GB ratio: "
-              << TextTable::ratio(hbm.fitUncorrectedPerGB /
+        table.print(std::cout,
+                    "FaultSim: uncorrected-error rates "
+                    "(Section 3.2)");
+        std::cout << "\nHBM/DDR uncorrected FIT-per-GB ratio: "
+                  << TextTable::ratio(hbm.fitUncorrectedPerGB /
+                                          ddr.fitUncorrectedPerGB,
+                                      0)
+                  << " (SerParams default: "
+                  << TextTable::ratio(
+                         SerParams::calibratedDefault().fitRatio(),
+                         0)
+                  << ")\n\n";
+
+        // Ablation: stacked-memory FIT scaling factor.
+        TextTable sweep({"stacked FIT factor", "FIT_unc per GB",
+                         "ratio vs ChipKill DDR"});
+        for (const double factor : {1.0, 2.0, 3.0, 5.0}) {
+            const FaultSim sim(FaultSimConfig::hbmSecDed(factor));
+            const auto result = sim.run(100000, 42, &pool);
+            sweep.addRow(
+                {TextTable::num(factor, 1),
+                 TextTable::num(result.fitUncorrectedPerGB, 4),
+                 TextTable::ratio(result.fitUncorrectedPerGB /
                                       ddr.fitUncorrectedPerGB,
-                                  0)
-              << " (SerParams default: "
-              << TextTable::ratio(
-                     SerParams::calibratedDefault().fitRatio(), 0)
-              << ")\n\n";
-
-    // Ablation: stacked-memory FIT scaling factor.
-    TextTable sweep({"stacked FIT factor", "FIT_unc per GB",
-                     "ratio vs ChipKill DDR"});
-    for (const double factor : {1.0, 2.0, 3.0, 5.0}) {
-        const FaultSim sim(FaultSimConfig::hbmSecDed(factor));
-        const auto result = sim.run(100000, 42, &pool);
-        sweep.addRow({TextTable::num(factor, 1),
-                      TextTable::num(result.fitUncorrectedPerGB, 4),
-                      TextTable::ratio(result.fitUncorrectedPerGB /
-                                           ddr.fitUncorrectedPerGB,
-                                       0)});
-    }
-    sweep.print(std::cout,
-                "Ablation: die-stacked density/TSV FIT scaling");
-    return 0;
+                                  0)});
+        }
+        sweep.print(std::cout,
+                    "Ablation: die-stacked density/TSV FIT scaling");
+        return 0;
+    });
 }

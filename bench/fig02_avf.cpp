@@ -18,50 +18,54 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("fig02_avf", argc, argv);
-    auto profiled = harness.profileAll(standardWorkloads());
+    return benchMain("fig02_avf", [&] {
+        Harness harness("fig02_avf", argc, argv);
+        auto profiled = harness.profileAll(standardWorkloads());
 
-    std::sort(profiled.begin(), profiled.end(),
-              [](const ProfiledWorkloadPtr &a,
-                 const ProfiledWorkloadPtr &b) {
-                  return a->base.memoryAvf < b->base.memoryAvf;
-              });
+        std::sort(profiled.begin(), profiled.end(),
+                  [](const ProfiledWorkloadPtr &a,
+                     const ProfiledWorkloadPtr &b) {
+                      return a->base.memoryAvf < b->base.memoryAvf;
+                  });
 
-    TextTable table({"workload", "memory AVF", "MPKI",
-                     "footprint (pages)"});
-    for (const auto &wl : profiled) {
-        table.addRow({wl->name(),
-                      TextTable::percent(wl->base.memoryAvf),
-                      TextTable::num(wl->base.mpki, 1),
-                      TextTable::num(static_cast<std::uint64_t>(
-                          wl->profile().footprintPages()))});
-    }
-    table.print(std::cout,
-                "Figure 2: memory AVF per workload (DDR-only, "
-                "ascending)");
-
-    TextTable mixes({"mix", "composition"});
-    for (const char *name : {"mix1", "mix2", "mix3", "mix4", "mix5"}) {
-        const auto spec = mixWorkload(name);
-        std::string parts;
-        std::string last;
-        int count = 0;
-        auto flush = [&]() {
-            if (count > 0)
-                parts += last + " x" + std::to_string(count) + "  ";
-        };
-        for (const auto &bench : spec.coreBenchmarks) {
-            if (bench != last) {
-                flush();
-                last = bench;
-                count = 0;
-            }
-            ++count;
+        TextTable table({"workload", "memory AVF", "MPKI",
+                         "footprint (pages)"});
+        for (const auto &wl : profiled) {
+            table.addRow({wl->name(),
+                          TextTable::percent(wl->base.memoryAvf),
+                          TextTable::num(wl->base.mpki, 1),
+                          TextTable::num(static_cast<std::uint64_t>(
+                              wl->profile().footprintPages()))});
         }
-        flush();
-        mixes.addRow({name, parts});
-    }
-    std::cout << "\n";
-    mixes.print(std::cout, "Table 2: mixed workload composition");
-    return harness.finish();
+        table.print(std::cout,
+                    "Figure 2: memory AVF per workload (DDR-only, "
+                    "ascending)");
+
+        TextTable mixes({"mix", "composition"});
+        for (const char *name :
+             {"mix1", "mix2", "mix3", "mix4", "mix5"}) {
+            const auto spec = mixWorkload(name);
+            std::string parts;
+            std::string last;
+            int count = 0;
+            auto flush = [&]() {
+                if (count > 0)
+                    parts +=
+                        last + " x" + std::to_string(count) + "  ";
+            };
+            for (const auto &bench : spec.coreBenchmarks) {
+                if (bench != last) {
+                    flush();
+                    last = bench;
+                    count = 0;
+                }
+                ++count;
+            }
+            flush();
+            mixes.addRow({name, parts});
+        }
+        std::cout << "\n";
+        mixes.print(std::cout, "Table 2: mixed workload composition");
+        return harness.finish();
+    });
 }

@@ -19,33 +19,38 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("fig04_quadrants", argc, argv);
+    return benchMain("fig04_quadrants", [&] {
+        Harness harness("fig04_quadrants", argc, argv);
 
-    TextTable table({"workload", "hot&high", "hot&low", "cold&high",
-                     "cold&low", "hot&low MB", "footprint MB"});
+        TextTable table({"workload", "hot&high", "hot&low",
+                         "cold&high", "cold&low", "hot&low MB",
+                         "footprint MB"});
 
-    for (const auto &wl : harness.profileAll(standardWorkloads())) {
-        const auto quadrants = analyzeQuadrants(wl->profile());
-        const double total =
-            static_cast<double>(quadrants.total());
-        auto frac = [&](std::uint64_t count) {
-            return TextTable::percent(static_cast<double>(count) /
-                                      total);
-        };
-        table.addRow({
-            wl->name(),
-            frac(quadrants.hotHighRisk),
-            frac(quadrants.hotLowRisk),
-            frac(quadrants.coldHighRisk),
-            frac(quadrants.coldLowRisk),
-            TextTable::num(static_cast<double>(quadrants.hotLowRisk) *
-                               pageSize / (1 << 20),
-                           1),
-            TextTable::num(total * pageSize / (1 << 20), 1),
-        });
-    }
-    table.print(std::cout,
-                "Figure 4: page distribution across hotness-risk "
-                "quadrants (mean splits)");
-    return harness.finish();
+        for (const auto &wl :
+             harness.profileAll(standardWorkloads())) {
+            const auto quadrants = analyzeQuadrants(wl->profile());
+            const double total =
+                static_cast<double>(quadrants.total());
+            auto frac = [&](std::uint64_t count) {
+                return TextTable::percent(
+                    static_cast<double>(count) / total);
+            };
+            table.addRow({
+                wl->name(),
+                frac(quadrants.hotHighRisk),
+                frac(quadrants.hotLowRisk),
+                frac(quadrants.coldHighRisk),
+                frac(quadrants.coldLowRisk),
+                TextTable::num(
+                    static_cast<double>(quadrants.hotLowRisk) *
+                        pageSize / (1 << 20),
+                    1),
+                TextTable::num(total * pageSize / (1 << 20), 1),
+            });
+        }
+        table.print(std::cout,
+                    "Figure 4: page distribution across hotness-risk "
+                    "quadrants (mean splits)");
+        return harness.finish();
+    });
 }

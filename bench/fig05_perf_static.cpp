@@ -17,36 +17,50 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("fig05_perf_static", argc, argv);
-    const SystemConfig &config = harness.config();
+    return benchMain("fig05_perf_static", [&] {
+        Harness harness("fig05_perf_static", argc, argv);
+        const SystemConfig &config = harness.config();
 
-    TextTable table({"workload", "IPC (DDR)", "IPC (perf)",
-                     "IPC gain", "SER vs DDR-only"});
-    RatioColumn ipc_ratios, ser_ratios;
+        TextTable table({"workload", "IPC (DDR)", "IPC (perf)",
+                         "IPC gain", "SER vs DDR-only"});
+        RatioColumn ipc_ratios, ser_ratios;
 
-    const auto profiled = harness.profileAll(standardWorkloads());
-    const auto results = harness.mapWorkloads(
-        profiled, [&](const ProfiledWorkloadPtr &wl) {
-            return runStaticPolicy(config, wl->data,
-                                   StaticPolicy::PerfFocused,
-                                   wl->profile());
-        });
+        const auto profiled =
+            harness.profileAll(standardWorkloads());
+        std::vector<PassDesc> descs;
+        for (const auto &wl : profiled)
+            descs.push_back(
+                {wl->name(), Harness::passKey(wl, "perf-static")});
+        const auto outcomes = harness.runPasses(
+            descs, [&](std::size_t i) {
+                const auto &wl = *profiled[i];
+                return runStaticPolicy(config, wl.data,
+                                       StaticPolicy::PerfFocused,
+                                       wl.profile());
+            });
 
-    for (std::size_t i = 0; i < profiled.size(); ++i) {
-        const auto &wl = *profiled[i];
-        const auto &result = harness.record(wl.name(), results[i]);
-        table.addRow(
-            {wl.name(), TextTable::num(wl.base.ipc, 2),
-             TextTable::num(result.ipc, 2),
-             TextTable::ratio(
-                 ipc_ratios.add(result.ipc / wl.base.ipc)),
-             TextTable::ratio(
-                 ser_ratios.add(result.ser / wl.base.ser), 1)});
-    }
-    table.addRow({"average", "-", "-", ipc_ratios.averageCell(),
-                  ser_ratios.averageCell(1)});
-    table.print(std::cout,
-                "Figure 5: performance-focused static placement "
-                "(paper: 1.6x IPC, 287x SER)");
-    return harness.finish();
+        for (std::size_t i = 0; i < profiled.size(); ++i) {
+            const auto &wl = *profiled[i];
+            if (!outcomes[i].ok()) {
+                table.addRow({wl.name(),
+                              TextTable::num(wl.base.ipc, 2),
+                              statusCell(outcomes[i]), "-", "-"});
+                continue;
+            }
+            const auto &result = outcomes[i].result;
+            table.addRow(
+                {wl.name(), TextTable::num(wl.base.ipc, 2),
+                 TextTable::num(result.ipc, 2),
+                 TextTable::ratio(
+                     ipc_ratios.add(result.ipc / wl.base.ipc)),
+                 TextTable::ratio(
+                     ser_ratios.add(result.ser / wl.base.ser), 1)});
+        }
+        table.addRow({"average", "-", "-", ipc_ratios.averageCell(),
+                      ser_ratios.averageCell(1)});
+        table.print(std::cout,
+                    "Figure 5: performance-focused static placement "
+                    "(paper: 1.6x IPC, 287x SER)");
+        return harness.finish();
+    });
 }

@@ -17,55 +17,57 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("fig06_hotness_avf", argc, argv);
-    const auto wl = harness.profile(mixWorkload("mix1"));
+    return benchMain("fig06_hotness_avf", [&] {
+        Harness harness("fig06_hotness_avf", argc, argv);
+        const auto wl = harness.profile(mixWorkload("mix1"));
 
-    const auto order = wl->profile().sortedByDescending(
-        [](const PageStats &s) { return s.hotness(); });
-    const std::size_t top =
-        std::min<std::size_t>(1000, order.size());
+        const auto order = wl->profile().sortedByDescending(
+            [](const PageStats &s) { return s.hotness(); });
+        const std::size_t top =
+            std::min<std::size_t>(1000, order.size());
 
-    TextTable table({"hot rank", "accesses", "AVF"});
-    for (std::size_t rank = 0; rank < top;
-         rank += (rank < 100 ? 25 : 100)) {
-        const auto &[page, stats] = order[rank];
-        table.addRow({TextTable::num(
-                          static_cast<std::uint64_t>(rank + 1)),
-                      TextTable::num(stats.hotness()),
-                      TextTable::percent(stats.avf)});
-    }
-    table.print(std::cout,
-                "Figure 6: top-1000 hot pages of mix1 "
-                "(sampled ranks)");
+        TextTable table({"hot rank", "accesses", "AVF"});
+        for (std::size_t rank = 0; rank < top;
+             rank += (rank < 100 ? 25 : 100)) {
+            const auto &[page, stats] = order[rank];
+            table.addRow({TextTable::num(
+                              static_cast<std::uint64_t>(rank + 1)),
+                          TextTable::num(stats.hotness()),
+                          TextTable::percent(stats.avf)});
+        }
+        table.print(std::cout,
+                    "Figure 6: top-1000 hot pages of mix1 "
+                    "(sampled ranks)");
 
-    // Correlations: top-1000 and whole footprint.
-    std::vector<double> hot_top, avf_top;
-    for (std::size_t i = 0; i < top; ++i) {
-        hot_top.push_back(
-            static_cast<double>(order[i].second.hotness()));
-        avf_top.push_back(order[i].second.avf);
-    }
-    std::vector<double> hot_all, avf_all;
-    for (const auto &[page, stats] : wl->profile().pages()) {
-        hot_all.push_back(static_cast<double>(stats.hotness()));
-        avf_all.push_back(stats.avf);
-    }
+        // Correlations: top-1000 and whole footprint.
+        std::vector<double> hot_top, avf_top;
+        for (std::size_t i = 0; i < top; ++i) {
+            hot_top.push_back(
+                static_cast<double>(order[i].second.hotness()));
+            avf_top.push_back(order[i].second.avf);
+        }
+        std::vector<double> hot_all, avf_all;
+        for (const auto &[page, stats] : wl->profile().pages()) {
+            hot_all.push_back(static_cast<double>(stats.hotness()));
+            avf_all.push_back(stats.avf);
+        }
 
-    RunningStat avf_of_top;
-    for (const double value : avf_top)
-        avf_of_top.add(value);
+        RunningStat avf_of_top;
+        for (const double value : avf_top)
+            avf_of_top.add(value);
 
-    std::cout << "\nmean AVF of top-1000 hot pages: "
-              << TextTable::percent(avf_of_top.mean()) << "\n"
-              << "min AVF among top-1000 hot pages: "
-              << TextTable::percent(avf_of_top.min()) << "\n"
-              << "correlation(hotness, AVF), top-1000:   "
-              << TextTable::num(
-                     pearsonCorrelation(hot_top, avf_top), 3)
-              << "\n"
-              << "correlation(hotness, AVF), footprint:  "
-              << TextTable::num(
-                     pearsonCorrelation(hot_all, avf_all), 3)
-              << "  (paper: 0.08)\n";
-    return harness.finish();
+        std::cout << "\nmean AVF of top-1000 hot pages: "
+                  << TextTable::percent(avf_of_top.mean()) << "\n"
+                  << "min AVF among top-1000 hot pages: "
+                  << TextTable::percent(avf_of_top.min()) << "\n"
+                  << "correlation(hotness, AVF), top-1000:   "
+                  << TextTable::num(
+                         pearsonCorrelation(hot_top, avf_top), 3)
+                  << "\n"
+                  << "correlation(hotness, AVF), footprint:  "
+                  << TextTable::num(
+                         pearsonCorrelation(hot_all, avf_all), 3)
+                  << "  (paper: 0.08)\n";
+        return harness.finish();
+    });
 }

@@ -19,50 +19,55 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("fig09_wr_corr", argc, argv);
-    const auto wl = harness.profile(mixWorkload("mix1"));
+    return benchMain("fig09_wr_corr", [&] {
+        Harness harness("fig09_wr_corr", argc, argv);
+        const auto wl = harness.profile(mixWorkload("mix1"));
 
-    // (a) correlation over the top-1000 hot pages and the footprint.
-    const auto order = wl->profile().sortedByDescending(
-        [](const PageStats &s) { return s.hotness(); });
-    const std::size_t top =
-        std::min<std::size_t>(1000, order.size());
-    std::vector<double> wr_top, avf_top;
-    for (std::size_t i = 0; i < top; ++i) {
-        wr_top.push_back(order[i].second.wrRatio());
-        avf_top.push_back(order[i].second.avf);
-    }
-    std::vector<double> wr_all, avf_all;
-    for (const auto &[page, stats] : wl->profile().pages()) {
-        wr_all.push_back(stats.wrRatio());
-        avf_all.push_back(stats.avf);
-    }
-    std::cout << "Figure 9a: correlation(write ratio, AVF)\n"
-              << "  top-1000 hot pages: "
-              << TextTable::num(pearsonCorrelation(wr_top, avf_top), 3)
-              << "\n  whole footprint:    "
-              << TextTable::num(pearsonCorrelation(wr_all, avf_all), 3)
-              << "  (paper: -0.32)\n\n";
+        // (a) correlation over the top-1000 hot pages and the
+        // footprint.
+        const auto order = wl->profile().sortedByDescending(
+            [](const PageStats &s) { return s.hotness(); });
+        const std::size_t top =
+            std::min<std::size_t>(1000, order.size());
+        std::vector<double> wr_top, avf_top;
+        for (std::size_t i = 0; i < top; ++i) {
+            wr_top.push_back(order[i].second.wrRatio());
+            avf_top.push_back(order[i].second.avf);
+        }
+        std::vector<double> wr_all, avf_all;
+        for (const auto &[page, stats] : wl->profile().pages()) {
+            wr_all.push_back(stats.wrRatio());
+            avf_all.push_back(stats.avf);
+        }
+        std::cout << "Figure 9a: correlation(write ratio, AVF)\n"
+                  << "  top-1000 hot pages: "
+                  << TextTable::num(
+                         pearsonCorrelation(wr_top, avf_top), 3)
+                  << "\n  whole footprint:    "
+                  << TextTable::num(
+                         pearsonCorrelation(wr_all, avf_all), 3)
+                  << "  (paper: -0.32)\n\n";
 
-    // (b) write-ratio histogram, as write fraction of all accesses,
-    // binned 0-20%, 21-40%, ... like the paper.
-    Histogram histogram(0.0, 1.0 + 1e-9, 5);
-    for (const auto &[page, stats] : wl->profile().pages()) {
-        const double writes = static_cast<double>(stats.writes);
-        const double total =
-            static_cast<double>(stats.hotness());
-        histogram.add(total == 0 ? 0.0 : writes / total);
-    }
-    TextTable table({"write share bin", "pages"});
-    for (std::size_t bin = 0; bin < histogram.numBins(); ++bin) {
-        table.addRow({TextTable::percent(histogram.binLow(bin), 0) +
-                          " - " +
-                          TextTable::percent(
-                              std::min(1.0, histogram.binHigh(bin)),
-                              0),
-                      TextTable::num(histogram.binCount(bin))});
-    }
-    table.print(std::cout,
-                "Figure 9b: write-ratio histogram of mix1 pages");
-    return harness.finish();
+        // (b) write-ratio histogram, as write fraction of all
+        // accesses, binned 0-20%, 21-40%, ... like the paper.
+        Histogram histogram(0.0, 1.0 + 1e-9, 5);
+        for (const auto &[page, stats] : wl->profile().pages()) {
+            const double writes = static_cast<double>(stats.writes);
+            const double total =
+                static_cast<double>(stats.hotness());
+            histogram.add(total == 0 ? 0.0 : writes / total);
+        }
+        TextTable table({"write share bin", "pages"});
+        for (std::size_t bin = 0; bin < histogram.numBins(); ++bin) {
+            table.addRow(
+                {TextTable::percent(histogram.binLow(bin), 0) +
+                     " - " +
+                     TextTable::percent(
+                         std::min(1.0, histogram.binHigh(bin)), 0),
+                 TextTable::num(histogram.binCount(bin))});
+        }
+        table.print(std::cout,
+                    "Figure 9b: write-ratio histogram of mix1 pages");
+        return harness.finish();
+    });
 }

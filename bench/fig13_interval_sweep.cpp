@@ -20,105 +20,135 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("fig13_interval_sweep", argc, argv);
-    const SystemConfig config = harness.config();
+    return benchMain("fig13_interval_sweep", [&] {
+        Harness harness("fig13_interval_sweep", argc, argv);
+        const SystemConfig config = harness.config();
 
-    // Low / medium / high memory intensity.
-    const std::vector<WorkloadSpec> specs = {
-        homogeneousWorkload("astar"), homogeneousWorkload("lulesh"),
-        homogeneousWorkload("mcf")};
-    const auto profiled = harness.profileAll(specs);
+        // Low / medium / high memory intensity.
+        const std::vector<WorkloadSpec> specs = {
+            homogeneousWorkload("astar"),
+            homogeneousWorkload("lulesh"),
+            homogeneousWorkload("mcf")};
+        const auto profiled = harness.profileAll(specs);
 
-    const std::vector<Cycle> fc_intervals = {
-        800'000, 1'600'000, 3'200'000, 6'400'000, 12'800'000};
-    struct Point
-    {
-        std::size_t sweep;
-        std::size_t workload;
-    };
-    std::vector<Point> fc_points;
-    for (std::size_t s = 0; s < fc_intervals.size(); ++s)
-        for (std::size_t w = 0; w < profiled.size(); ++w)
-            fc_points.push_back({s, w});
+        const std::vector<Cycle> fc_intervals = {
+            800'000, 1'600'000, 3'200'000, 6'400'000, 12'800'000};
+        struct Point
+        {
+            std::size_t sweep;
+            std::size_t workload;
+        };
+        std::vector<Point> fc_points;
+        std::vector<PassDesc> fc_descs;
+        for (std::size_t s = 0; s < fc_intervals.size(); ++s)
+            for (std::size_t w = 0; w < profiled.size(); ++w) {
+                fc_points.push_back({s, w});
+                fc_descs.push_back(
+                    {profiled[w]->name(),
+                     Harness::passKey(
+                         profiled[w],
+                         "fc@" +
+                             std::to_string(fc_intervals[s]))});
+            }
 
-    const auto fc_results =
-        harness.pool().map(fc_points, [&](const Point &point) {
-            SystemConfig swept = config;
-            swept.fcIntervalCycles = fc_intervals[point.sweep];
-            const auto &wl = *profiled[point.workload];
-            SimResult result =
-                runDynamic(swept, wl.data,
-                           DynamicScheme::PerfFocused, wl.profile());
-            result.label +=
-                "@fc" + std::to_string(swept.fcIntervalCycles);
-            return result;
-        });
-    for (std::size_t i = 0; i < fc_points.size(); ++i)
-        harness.record(profiled[fc_points[i].workload]->name(),
-                       fc_results[i]);
+        const auto fc_outcomes = harness.runPasses(
+            fc_descs, [&](std::size_t i) {
+                const Point &point = fc_points[i];
+                SystemConfig swept = config;
+                swept.fcIntervalCycles = fc_intervals[point.sweep];
+                const auto &wl = *profiled[point.workload];
+                SimResult result =
+                    runDynamic(swept, wl.data,
+                               DynamicScheme::PerfFocused,
+                               wl.profile());
+                result.label +=
+                    "@fc" + std::to_string(swept.fcIntervalCycles);
+                return result;
+            });
 
-    TextTable fc_table({"FC interval (cycles)", "astar IPC",
-                        "lulesh IPC", "mcf IPC", "mean vs default"});
-    std::vector<double> defaults;
-    for (std::size_t s = 0; s < fc_intervals.size(); ++s) {
-        std::vector<std::string> row = {TextTable::num(
-            static_cast<std::uint64_t>(fc_intervals[s]))};
-        std::vector<double> ipcs;
-        for (std::size_t w = 0; w < profiled.size(); ++w) {
-            const double ipc =
-                fc_results[s * profiled.size() + w].ipc;
-            ipcs.push_back(ipc);
-            row.push_back(TextTable::num(ipc, 2));
+        TextTable fc_table({"FC interval (cycles)", "astar IPC",
+                            "lulesh IPC", "mcf IPC",
+                            "mean vs default"});
+        std::vector<double> defaults;
+        for (std::size_t s = 0; s < fc_intervals.size(); ++s) {
+            std::vector<std::string> row = {TextTable::num(
+                static_cast<std::uint64_t>(fc_intervals[s]))};
+            std::vector<double> ipcs;
+            bool complete = true;
+            for (std::size_t w = 0; w < profiled.size(); ++w) {
+                const auto &out =
+                    fc_outcomes[s * profiled.size() + w];
+                if (!out.ok()) {
+                    complete = false;
+                    row.push_back(statusCell(out));
+                    continue;
+                }
+                ipcs.push_back(out.result.ipc);
+                row.push_back(TextTable::num(out.result.ipc, 2));
+            }
+            if (complete &&
+                fc_intervals[s] == config.fcIntervalCycles)
+                defaults = ipcs;
+            RatioColumn rel;
+            if (complete && !defaults.empty())
+                for (std::size_t w = 0; w < ipcs.size(); ++w)
+                    rel.add(ipcs[w] / defaults[w]);
+            row.push_back(rel.averageCell());
+            fc_table.addRow(row);
         }
-        if (fc_intervals[s] == config.fcIntervalCycles)
-            defaults = ipcs;
-        RatioColumn rel;
-        if (!defaults.empty())
-            for (std::size_t w = 0; w < ipcs.size(); ++w)
-                rel.add(ipcs[w] / defaults[w]);
-        row.push_back(rel.averageCell());
-        fc_table.addRow(row);
-    }
-    fc_table.print(std::cout,
-                   "Figure 13: FC migration interval sweep "
-                   "(default = scaled 100 ms)");
+        fc_table.print(std::cout,
+                       "Figure 13: FC migration interval sweep "
+                       "(default = scaled 100 ms)");
 
-    const std::vector<Cycle> mea_intervals = {25'000, 50'000,
-                                              100'000, 200'000};
-    std::vector<Point> mea_points;
-    for (std::size_t s = 0; s < mea_intervals.size(); ++s)
-        for (std::size_t w = 0; w < profiled.size(); ++w)
-            mea_points.push_back({s, w});
+        const std::vector<Cycle> mea_intervals = {25'000, 50'000,
+                                                  100'000, 200'000};
+        std::vector<Point> mea_points;
+        std::vector<PassDesc> mea_descs;
+        for (std::size_t s = 0; s < mea_intervals.size(); ++s)
+            for (std::size_t w = 0; w < profiled.size(); ++w) {
+                mea_points.push_back({s, w});
+                mea_descs.push_back(
+                    {profiled[w]->name(),
+                     Harness::passKey(
+                         profiled[w],
+                         "mea@" +
+                             std::to_string(mea_intervals[s]))});
+            }
 
-    const auto mea_results =
-        harness.pool().map(mea_points, [&](const Point &point) {
-            SystemConfig swept = config;
-            swept.meaIntervalCycles = mea_intervals[point.sweep];
-            const auto &wl = *profiled[point.workload];
-            SimResult result =
-                runDynamic(swept, wl.data,
-                           DynamicScheme::CrossCounter, wl.profile());
-            result.label +=
-                "@mea" + std::to_string(swept.meaIntervalCycles);
-            return result;
-        });
-    for (std::size_t i = 0; i < mea_points.size(); ++i)
-        harness.record(profiled[mea_points[i].workload]->name(),
-                       mea_results[i]);
+        const auto mea_outcomes = harness.runPasses(
+            mea_descs, [&](std::size_t i) {
+                const Point &point = mea_points[i];
+                SystemConfig swept = config;
+                swept.meaIntervalCycles = mea_intervals[point.sweep];
+                const auto &wl = *profiled[point.workload];
+                SimResult result =
+                    runDynamic(swept, wl.data,
+                               DynamicScheme::CrossCounter,
+                               wl.profile());
+                result.label +=
+                    "@mea" + std::to_string(swept.meaIntervalCycles);
+                return result;
+            });
 
-    TextTable mea_table({"MEA interval (cycles)", "astar IPC",
-                         "lulesh IPC", "mcf IPC"});
-    for (std::size_t s = 0; s < mea_intervals.size(); ++s) {
-        std::vector<std::string> row = {TextTable::num(
-            static_cast<std::uint64_t>(mea_intervals[s]))};
-        for (std::size_t w = 0; w < profiled.size(); ++w)
-            row.push_back(TextTable::num(
-                mea_results[s * profiled.size() + w].ipc, 2));
-        mea_table.addRow(row);
-    }
-    std::cout << "\n";
-    mea_table.print(std::cout,
-                    "Figure 13 (cont.): MEA interval sweep for the "
-                    "cross-counter scheme (default = scaled 50 us)");
-    return harness.finish();
+        TextTable mea_table({"MEA interval (cycles)", "astar IPC",
+                             "lulesh IPC", "mcf IPC"});
+        for (std::size_t s = 0; s < mea_intervals.size(); ++s) {
+            std::vector<std::string> row = {TextTable::num(
+                static_cast<std::uint64_t>(mea_intervals[s]))};
+            for (std::size_t w = 0; w < profiled.size(); ++w) {
+                const auto &out =
+                    mea_outcomes[s * profiled.size() + w];
+                row.push_back(out.ok()
+                                  ? TextTable::num(out.result.ipc, 2)
+                                  : statusCell(out));
+            }
+            mea_table.addRow(row);
+        }
+        std::cout << "\n";
+        mea_table.print(
+            std::cout,
+            "Figure 13 (cont.): MEA interval sweep for the "
+            "cross-counter scheme (default = scaled 50 us)");
+        return harness.finish();
+    });
 }

@@ -17,44 +17,49 @@ using namespace ramp::bench;
 int
 main(int argc, char **argv)
 {
-    Harness harness("fig17_annotation_count", argc, argv);
-    const SystemConfig &config = harness.config();
+    return benchMain("fig17_annotation_count", [&] {
+        Harness harness("fig17_annotation_count", argc, argv);
+        const SystemConfig &config = harness.config();
 
-    const auto profiled = harness.profileAll(standardWorkloads());
-    const auto selections = harness.mapWorkloads(
-        profiled, [&](const ProfiledWorkloadPtr &wl) {
-            return annotationsFor(wl->data, wl->profile(),
-                                  config.hbmPages());
-        });
+        const auto profiled = harness.profileAll(standardWorkloads());
+        const auto selections = harness.mapWorkloads(
+            profiled, [&](const ProfiledWorkloadPtr &wl) {
+                return annotationsFor(wl->data, wl->profile(),
+                                      config.hbmPages());
+            });
 
-    TextTable table({"workload", "annotations", "pinned pages",
-                     "pinned MB", "HBM fill"});
-    double total = 0;
+        TextTable table({"workload", "annotations", "pinned pages",
+                         "pinned MB", "HBM fill"});
+        double total = 0;
 
-    for (std::size_t i = 0; i < profiled.size(); ++i) {
-        const auto &wl = *profiled[i];
-        const auto &selection = selections[i];
-        total += static_cast<double>(selection.count());
-        table.addRow({
-            wl.name(),
-            TextTable::num(
-                static_cast<std::uint64_t>(selection.count())),
-            TextTable::num(selection.pinnedPages),
-            TextTable::num(static_cast<double>(
-                               selection.pinnedPages * pageSize) /
-                               (1 << 20),
-                           1),
-            TextTable::percent(
-                static_cast<double>(selection.pinnedPages) /
-                static_cast<double>(config.hbmPages())),
-        });
-    }
-    table.print(std::cout,
-                "Figure 17: annotated structures per workload "
-                "(paper: avg ~8; outliers cactusADM 39, mix1 45)");
-    std::cout << "\naverage annotations: "
-              << TextTable::num(
-                     total / static_cast<double>(profiled.size()), 1)
-              << "\n";
-    return harness.finish();
+        for (std::size_t i = 0; i < profiled.size(); ++i) {
+            const auto &wl = *profiled[i];
+            const auto &selection = selections[i];
+            total += static_cast<double>(selection.count());
+            table.addRow({
+                wl.name(),
+                TextTable::num(
+                    static_cast<std::uint64_t>(selection.count())),
+                TextTable::num(selection.pinnedPages),
+                TextTable::num(
+                    static_cast<double>(selection.pinnedPages *
+                                        pageSize) /
+                        (1 << 20),
+                    1),
+                TextTable::percent(
+                    static_cast<double>(selection.pinnedPages) /
+                    static_cast<double>(config.hbmPages())),
+            });
+        }
+        table.print(std::cout,
+                    "Figure 17: annotated structures per workload "
+                    "(paper: avg ~8; outliers cactusADM 39, mix1 45)");
+        std::cout << "\naverage annotations: "
+                  << TextTable::num(
+                         total /
+                             static_cast<double>(profiled.size()),
+                         1)
+                  << "\n";
+        return harness.finish();
+    });
 }

@@ -11,6 +11,7 @@
  *      scheme running on top.
  */
 
+#include <exception>
 #include <iostream>
 
 #include "common/table.hh"
@@ -20,7 +21,7 @@ using namespace ramp;
 
 int
 main(int argc, char **argv)
-{
+try {
     const std::string program = argc > 1 ? argv[1] : "xsbench";
     const WorkloadData data =
         prepareWorkload(homogeneousWorkload(program));
@@ -83,4 +84,7 @@ main(int argc, char **argv)
     std::cout << "\n";
     table.print(std::cout, "annotation outcomes");
     return 0;
+} catch (const std::exception &error) {
+    std::cerr << "annotate_structures: " << error.what() << "\n";
+    return 1;
 }

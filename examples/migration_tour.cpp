@@ -9,6 +9,7 @@
  * side, including an interval sensitivity check (Figure 13).
  */
 
+#include <exception>
 #include <iostream>
 
 #include "common/table.hh"
@@ -18,7 +19,7 @@ using namespace ramp;
 
 int
 main(int argc, char **argv)
-{
+try {
     const std::string name = argc > 1 ? argv[1] : "soplex";
     const WorkloadSpec spec =
         name.rfind("mix", 0) == 0 ? mixWorkload(name)
@@ -74,4 +75,7 @@ main(int argc, char **argv)
     std::cout << "\n";
     sweep.print(std::cout, "interval sensitivity");
     return 0;
+} catch (const std::exception &error) {
+    std::cerr << "migration_tour: " << error.what() << "\n";
+    return 1;
 }

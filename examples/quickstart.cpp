@@ -11,6 +11,7 @@
  *   4. compare IPC and soft-error rate against the baselines.
  */
 
+#include <exception>
 #include <iostream>
 
 #include "common/table.hh"
@@ -20,7 +21,7 @@ using namespace ramp;
 
 int
 main(int argc, char **argv)
-{
+try {
     const std::string workload = argc > 1 ? argv[1] : "mix1";
 
     // 1. Build the workload (16 cores, Table 2 mixes supported).
@@ -61,4 +62,7 @@ main(int argc, char **argv)
     // 4. The trade-off at a glance.
     table.print(std::cout, "RAMP quickstart: " + spec.name);
     return 0;
+} catch (const std::exception &error) {
+    std::cerr << "quickstart: " << error.what() << "\n";
+    return 1;
 }

@@ -14,9 +14,11 @@
  * Policies: ddr-only perf rel balanced wr wr2 annotated
  *           perf-mig fc-mig cc-mig
  *
- * Runner flags (--jobs, --json, --cache-dir) may appear anywhere;
- * with --cache-dir the profile pass is shared with the bench
- * binaries, so `ramp_cli profile mix1` after a bench run is free.
+ * Runner flags (--jobs, --json, --cache-dir, --checkpoint,
+ * --pass-timeout) may appear anywhere; with --cache-dir the profile
+ * pass is shared with the bench binaries, so `ramp_cli profile mix1`
+ * after a bench run is free, and with --checkpoint an interrupted
+ * `sweep` resumes from its journal.
  */
 
 #include <cstdlib>
@@ -164,21 +166,34 @@ cmdSweep(Harness &harness, const std::string &workload)
 
     const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75,
                                            1.0};
-    const auto results = harness.pool().map(
-        fractions, [&](const double fraction) {
+    std::vector<runner::PassDesc> descs;
+    for (const double fraction : fractions)
+        descs.push_back(
+            {workload,
+             Harness::passKey(wl, "hot@" +
+                                      TextTable::num(fraction, 2))});
+    const auto outcomes = harness.runPasses(
+        descs, [&](std::size_t i) {
             SimResult result = runHotFraction(
-                config, wl->data, wl->profile(), fraction);
-            result.label += "@" + TextTable::num(fraction, 2);
+                config, wl->data, wl->profile(), fractions[i]);
+            result.label += "@" + TextTable::num(fractions[i], 2);
             return result;
         });
 
     TextTable table({"hot fraction", "IPC vs DDR-only",
                      "SER vs DDR-only"});
     for (std::size_t i = 0; i < fractions.size(); ++i) {
-        const auto &result = harness.record(workload, results[i]);
-        table.addRow({TextTable::num(fractions[i], 2),
-                      TextTable::ratio(result.ipc / wl->base.ipc),
-                      TextTable::ratio(result.ser / wl->base.ser, 1)});
+        if (!outcomes[i].ok()) {
+            table.addRow(
+                {TextTable::num(fractions[i], 2),
+                 runner::passStatusName(outcomes[i].status), "-"});
+            continue;
+        }
+        const auto &result = outcomes[i].result;
+        table.addRow(
+            {TextTable::num(fractions[i], 2),
+             TextTable::ratio(result.ipc / wl->base.ipc),
+             TextTable::ratio(result.ser / wl->base.ser, 1)});
     }
     table.print(std::cout, workload + ": hot-fraction frontier");
     return 0;
@@ -233,34 +248,37 @@ usage()
 int
 main(int argc, char **argv)
 {
-    Harness harness("ramp_cli", argc, argv);
-    const auto &args = harness.options().positional;
-    if (args.empty()) {
-        usage();
-        return 1;
-    }
+    return runner::benchMain("ramp_cli", [&] {
+        Harness harness("ramp_cli", argc, argv);
+        const auto &args = harness.options().positional;
+        if (args.empty()) {
+            usage();
+            return 1;
+        }
 
-    const std::string &command = args[0];
-    int rc = -1;
-    if (command == "workloads")
-        rc = cmdWorkloads();
-    else if (command == "profile" && args.size() >= 2)
-        rc = cmdProfile(harness, args[1]);
-    else if (command == "run" && args.size() >= 3)
-        rc = cmdRun(harness, args[1], args[2]);
-    else if (command == "sweep" && args.size() >= 2)
-        rc = cmdSweep(harness, args[1]);
-    else if (command == "faultsim")
-        rc = cmdFaultsim(harness.pool(),
-                         args.size() >= 2 ? std::atof(args[1].c_str())
-                                          : 3.0);
-    else if (command == "trace" && args.size() >= 3)
-        rc = cmdTrace(args[1], args[2]);
+        const std::string &command = args[0];
+        int rc = -1;
+        if (command == "workloads")
+            rc = cmdWorkloads();
+        else if (command == "profile" && args.size() >= 2)
+            rc = cmdProfile(harness, args[1]);
+        else if (command == "run" && args.size() >= 3)
+            rc = cmdRun(harness, args[1], args[2]);
+        else if (command == "sweep" && args.size() >= 2)
+            rc = cmdSweep(harness, args[1]);
+        else if (command == "faultsim")
+            rc = cmdFaultsim(harness.pool(),
+                             args.size() >= 2
+                                 ? std::atof(args[1].c_str())
+                                 : 3.0);
+        else if (command == "trace" && args.size() >= 3)
+            rc = cmdTrace(args[1], args[2]);
 
-    if (rc < 0) {
-        usage();
-        return 1;
-    }
-    const int finish_rc = harness.finish();
-    return rc != 0 ? rc : finish_rc;
+        if (rc < 0) {
+            usage();
+            return 1;
+        }
+        const int finish_rc = harness.finish();
+        return rc != 0 ? rc : finish_rc;
+    });
 }

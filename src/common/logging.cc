@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 namespace ramp
 {
@@ -31,6 +32,12 @@ fatalImpl(const char *file, int line, const std::string &msg)
     std::cerr << "fatal: " << msg << " @ " << file << ":" << line
               << std::endl;
     std::exit(1);
+}
+
+void
+invalidImpl(const std::string &msg)
+{
+    throw std::invalid_argument(msg);
 }
 
 void

@@ -21,6 +21,7 @@ namespace ramp
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
+[[noreturn]] void invalidImpl(const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 /** @} */
@@ -47,6 +48,15 @@ void setLogQuiet(bool quiet);
 /** Exit on an unrecoverable user/configuration error. */
 #define ramp_fatal(...) \
     ::ramp::fatalImpl(__FILE__, __LINE__, ::ramp::formatMessage(__VA_ARGS__))
+
+/**
+ * Reject invalid user input (workload spec, system config) by
+ * throwing std::invalid_argument — callers (the runner) contain it
+ * instead of the process dying, and the message tells the user what
+ * to fix.
+ */
+#define ramp_invalid(...) \
+    ::ramp::invalidImpl(::ramp::formatMessage(__VA_ARGS__))
 
 /** Report a suspicious but non-fatal condition. */
 #define ramp_warn(...) \

@@ -1,7 +1,34 @@
 #include "dram/config.hh"
 
+#include "common/logging.hh"
+
 namespace ramp
 {
+
+void
+validateDramConfig(const DramConfig &config)
+{
+    const std::string where =
+        "memory '" + (config.name.empty() ? "?" : config.name) + "'";
+    if (config.name.empty())
+        ramp_invalid("memory device has an empty name");
+    if (config.capacityBytes < pageSize)
+        ramp_invalid(where, ": capacity ", config.capacityBytes,
+                     " B is smaller than one ", pageSize,
+                     " B page");
+    if (config.channels == 0)
+        ramp_invalid(where, ": channels must be >= 1");
+    if (config.ranksPerChannel == 0)
+        ramp_invalid(where, ": ranksPerChannel must be >= 1");
+    if (config.banksPerRank == 0)
+        ramp_invalid(where, ": banksPerRank must be >= 1");
+    if (config.rowBytes < lineSize)
+        ramp_invalid(where, ": rowBytes ", config.rowBytes,
+                     " is smaller than one ", lineSize, " B line");
+    if (config.timing.tBURST == 0)
+        ramp_invalid(where, ": tBURST must be >= 1 cycle (it sets "
+                            "the peak bandwidth)");
+}
 
 double
 DramConfig::peakBandwidth() const

@@ -113,6 +113,14 @@ DramConfig ddr3Config(std::uint64_t capacity_bytes = 512ULL << 20);
  */
 DramConfig hbmConfig(std::uint64_t capacity_bytes = 32ULL << 20);
 
+/**
+ * Reject a malformed device description (zero capacity, zero
+ * channels/banks, zero burst time) with std::invalid_argument and
+ * an actionable message, before any simulation structure is built
+ * on top of it.
+ */
+void validateDramConfig(const DramConfig &config);
+
 } // namespace ramp
 
 #endif // RAMP_DRAM_CONFIG_HH

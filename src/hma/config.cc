@@ -1,0 +1,56 @@
+#include "hma/config.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ramp
+{
+
+void
+validateSystemConfig(const SystemConfig &config)
+{
+    if (config.cores <= 0)
+        ramp_invalid("system config: cores must be >= 1, got ",
+                     config.cores);
+    if (config.issueWidth == 0)
+        ramp_invalid("system config: issueWidth must be >= 1");
+    if (config.robSize == 0)
+        ramp_invalid("system config: robSize must be >= 1");
+    if (config.maxOutstandingReads == 0)
+        ramp_invalid("system config: maxOutstandingReads must be "
+                     ">= 1");
+
+    validateDramConfig(config.hbm);
+    validateDramConfig(config.ddr);
+
+    if (!std::isfinite(config.ser.fitUncHbmPerGB) ||
+        config.ser.fitUncHbmPerGB < 0)
+        ramp_invalid("system config: fitUncHbmPerGB ",
+                     config.ser.fitUncHbmPerGB,
+                     " must be a finite non-negative FIT rate");
+    if (!std::isfinite(config.ser.fitUncDdrPerGB) ||
+        config.ser.fitUncDdrPerGB <= 0)
+        ramp_invalid("system config: fitUncDdrPerGB ",
+                     config.ser.fitUncDdrPerGB,
+                     " must be a finite positive FIT rate (it is "
+                     "the SER baseline denominator)");
+
+    if (config.fcIntervalCycles == 0)
+        ramp_invalid("system config: fcIntervalCycles must be >= 1");
+    if (config.meaIntervalCycles == 0)
+        ramp_invalid("system config: meaIntervalCycles must be "
+                     ">= 1");
+    if (config.meaIntervalCycles > config.fcIntervalCycles)
+        ramp_invalid("system config: meaIntervalCycles (",
+                     config.meaIntervalCycles,
+                     ") must not exceed fcIntervalCycles (",
+                     config.fcIntervalCycles,
+                     "); the cross-counter scheme nests MEA "
+                     "intervals inside one FC interval");
+    if (config.migLineSpacingCycles == 0)
+        ramp_invalid("system config: migLineSpacingCycles must be "
+                     ">= 1");
+}
+
+} // namespace ramp

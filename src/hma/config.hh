@@ -80,6 +80,15 @@ struct SystemConfig
     static SystemConfig scaledDefault() { return SystemConfig{}; }
 };
 
+/**
+ * Reject a malformed system configuration (zero cores/intervals,
+ * invalid memories, non-finite FIT rates) with
+ * std::invalid_argument and an actionable message. The harness
+ * validates before profiling, so a sweep binary that drove a knob
+ * out of range fails one pass, not the whole process.
+ */
+void validateSystemConfig(const SystemConfig &config);
+
 } // namespace ramp
 
 #endif // RAMP_HMA_CONFIG_HH

@@ -11,6 +11,7 @@ prepareWorkload(const WorkloadSpec &spec,
 {
     WorkloadData data;
     data.spec = spec;
+    validateWorkloadSpec(spec);
     data.layout = buildLayout(spec);
     data.traces = generateTraces(spec, data.layout, options);
     return data;

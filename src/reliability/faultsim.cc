@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "runner/error.hh"
 
 namespace ramp
 {
@@ -159,6 +160,10 @@ FaultSim::run(std::uint64_t trials, std::uint64_t seed,
     std::vector<ShardCounts> per_shard;
     if (pool != nullptr) {
         per_shard = pool->mapIndex(shards, shard_counts);
+        // The pool stops dispatching once a shutdown is requested;
+        // a partially-run campaign must not be mistaken for a
+        // converged one.
+        runner::throwIfCancelled("fault-injection campaign");
     } else {
         per_shard.reserve(shards);
         for (std::uint64_t shard = 0; shard < shards; ++shard)

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Crash-safe artifacts: checkpoint journal and atomic file writes.
+ *
+ * A campaign run with --checkpoint <dir> journals every completed
+ * pass to an append-only JSONL file, one checksummed line per pass,
+ * flushed as soon as the pass finishes. A killed campaign resumed
+ * with the same directory replays the journaled passes and runs
+ * only the missing ones; because results round-trip bit-exactly
+ * (codec.hh) and taskSeed() makes passes schedule-independent, the
+ * resumed report is byte-identical to an uninterrupted run.
+ *
+ * Corruption is contained, never trusted: a torn or bit-flipped
+ * journal line fails its FNV-1a checksum and is skipped (that pass
+ * simply recomputes); a journal whose header is unreadable is
+ * quarantined (renamed *.corrupt) and a fresh one is started.
+ *
+ * The same file owns the crash-safety primitives the rest of the
+ * runner reuses: collision-free temp names (pid + atomic counter,
+ * fixing the pid-only suffix race two threads could hit) and
+ * atomic tmp+rename writes with bounded retry on transient
+ * filesystem errors.
+ */
+
+#ifndef RAMP_RUNNER_CHECKPOINT_HH
+#define RAMP_RUNNER_CHECKPOINT_HH
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "hma/system.hh"
+
+namespace ramp::runner
+{
+
+/** FNV-1a 64-bit hash (cache file names, journal checksums). */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/** 16-digit lower-case hex rendering of a 64-bit hash. */
+std::string hashHex(std::uint64_t value);
+
+/**
+ * A temp-file name next to `path` that no other thread or process
+ * of this run can pick: pid plus a per-process atomic counter.
+ */
+std::string uniqueTmpPath(const std::string &path);
+
+/**
+ * Write `bytes` to `path` atomically: create parent directories,
+ * write a unique temp file, fsync-close, rename over the target.
+ * Transient failures are retried a bounded number of times; the
+ * temp file never survives a failure. Returns false (with a
+ * diagnostic in *error when given) once retries are exhausted.
+ */
+bool atomicWriteFile(const std::string &path, std::string_view bytes,
+                     std::string *error = nullptr);
+
+/** Counters of one journal load (reported at resume). */
+struct CheckpointStats
+{
+    /** Valid pass lines loaded from an existing journal. */
+    std::uint64_t loaded = 0;
+
+    /** Corrupt/truncated lines skipped (their passes recompute). */
+    std::uint64_t corruptLines = 0;
+
+    /** Passes served from the journal this run. */
+    std::uint64_t hits = 0;
+
+    /** Passes appended this run. */
+    std::uint64_t appended = 0;
+};
+
+/**
+ * Append-only journal of completed passes, keyed by the profile
+ * cache fingerprint hash plus the pass label. Thread-safe: passes
+ * append concurrently from pool workers; every append is flushed
+ * before it returns, so a SIGKILL loses at most the in-flight line
+ * (which the checksum then rejects on load).
+ */
+class CheckpointJournal
+{
+  public:
+    /**
+     * Open (creating or resuming) `dir`/`tool`.ckpt.jsonl. Loads
+     * every valid line of an existing journal; quarantines a
+     * journal whose header is missing or unreadable.
+     */
+    CheckpointJournal(const std::string &dir,
+                      const std::string &tool);
+
+    /** The journal file path. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Look up a completed pass; fills `workload` and `result` and
+     * counts a hit when present.
+     */
+    bool lookup(const std::string &key, std::string &workload,
+                SimResult &result);
+
+    /** Journal one completed pass (thread-safe, flushed). */
+    void append(const std::string &key, const std::string &workload,
+                const SimResult &result);
+
+    CheckpointStats stats() const;
+
+    /** @{ @name Line codec (exposed for tests) */
+    static std::string encodeLine(const std::string &key,
+                                  const std::string &workload,
+                                  const SimResult &result);
+
+    /** False when the checksum or format does not hold. */
+    static bool decodeLine(const std::string &line, std::string &key,
+                           std::string &workload, SimResult &result);
+    /** @} */
+
+  private:
+    void load();
+
+    std::string path_;
+    std::string tool_;
+    mutable std::mutex mutex_;
+    std::ofstream out_;
+
+    struct Entry
+    {
+        std::string workload;
+        SimResult result;
+    };
+    std::unordered_map<std::string, Entry> entries_;
+    CheckpointStats stats_;
+};
+
+} // namespace ramp::runner
+
+#endif // RAMP_RUNNER_CHECKPOINT_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Little-endian byte codec shared by the runner's durable artifacts.
+ *
+ * The profile cache (disk baselines) and the checkpoint journal
+ * (completed pass results) both need the same property: a SimResult
+ * must round-trip bit-exactly, so a resumed campaign is
+ * byte-identical to an uninterrupted one. Doubles travel as raw
+ * IEEE-754 bits, never as decimal text. The Reader is
+ * bounds-checked: truncated or corrupt buffers flip `ok` instead of
+ * reading out of range, and the caller treats that as a cache miss
+ * or a skipped journal line.
+ */
+
+#ifndef RAMP_RUNNER_CODEC_HH
+#define RAMP_RUNNER_CODEC_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hma/system.hh"
+
+namespace ramp::runner::codec
+{
+
+/** Append-only little-endian writer. */
+struct Writer
+{
+    std::vector<std::uint8_t> bytes;
+
+    void u64(std::uint64_t value)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(
+                static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+
+    void f64(double value)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &value, sizeof(bits));
+        u64(bits);
+    }
+
+    void str(const std::string &text)
+    {
+        u64(text.size());
+        bytes.insert(bytes.end(), text.begin(), text.end());
+    }
+
+    void dram(const DramStats &stats)
+    {
+        u64(stats.reads);
+        u64(stats.writes);
+        u64(stats.rowHits);
+        u64(stats.rowMisses);
+        u64(stats.busBusyCycles);
+        u64(stats.totalReadLatency);
+    }
+
+    /** Every SimResult field except the per-page profile. */
+    void result(const SimResult &r)
+    {
+        str(r.label);
+        u64(r.makespan);
+        u64(r.instructions);
+        u64(r.requests);
+        u64(r.reads);
+        u64(r.writes);
+        f64(r.ipc);
+        f64(r.mpki);
+        f64(r.avgReadLatency);
+        f64(r.hbmAccessFraction);
+        dram(r.hbmStats);
+        dram(r.ddrStats);
+        u64(r.migratedPages);
+        u64(r.migrationEvents);
+        f64(r.memoryAvf);
+        f64(r.ser);
+    }
+};
+
+/** Bounds-checked little-endian reader over a byte buffer. */
+struct Reader
+{
+    const std::vector<std::uint8_t> &bytes;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    std::uint64_t u64()
+    {
+        if (pos + 8 > bytes.size()) {
+            ok = false;
+            return 0;
+        }
+        std::uint64_t value = 0;
+        for (int i = 0; i < 8; ++i)
+            value |= static_cast<std::uint64_t>(bytes[pos + i])
+                     << (8 * i);
+        pos += 8;
+        return value;
+    }
+
+    double f64()
+    {
+        const std::uint64_t bits = u64();
+        double value;
+        std::memcpy(&value, &bits, sizeof(value));
+        return value;
+    }
+
+    std::string str()
+    {
+        const std::uint64_t size = u64();
+        if (!ok || pos + size > bytes.size()) {
+            ok = false;
+            return {};
+        }
+        std::string text(bytes.begin() +
+                             static_cast<std::ptrdiff_t>(pos),
+                         bytes.begin() +
+                             static_cast<std::ptrdiff_t>(pos + size));
+        pos += size;
+        return text;
+    }
+
+    DramStats dram()
+    {
+        DramStats stats;
+        stats.reads = u64();
+        stats.writes = u64();
+        stats.rowHits = u64();
+        stats.rowMisses = u64();
+        stats.busBusyCycles = u64();
+        stats.totalReadLatency = u64();
+        return stats;
+    }
+
+    /** Inverse of Writer::result (profile left untouched). */
+    SimResult result()
+    {
+        SimResult r;
+        r.label = str();
+        r.makespan = u64();
+        r.instructions = u64();
+        r.requests = u64();
+        r.reads = u64();
+        r.writes = u64();
+        r.ipc = f64();
+        r.mpki = f64();
+        r.avgReadLatency = f64();
+        r.hbmAccessFraction = f64();
+        r.hbmStats = dram();
+        r.ddrStats = dram();
+        r.migratedPages = u64();
+        r.migrationEvents = u64();
+        r.memoryAvf = f64();
+        r.ser = f64();
+        return r;
+    }
+};
+
+/** Lower-case hex encoding (journal lines stay printable). */
+inline std::string
+hexEncode(const std::vector<std::uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const std::uint8_t byte : bytes) {
+        out.push_back(digits[byte >> 4]);
+        out.push_back(digits[byte & 0xf]);
+    }
+    return out;
+}
+
+/** Inverse of hexEncode; false on odd length or non-hex digits. */
+inline bool
+hexDecode(const std::string &text, std::vector<std::uint8_t> &out)
+{
+    if (text.size() % 2 != 0)
+        return false;
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1;
+    };
+    out.clear();
+    out.reserve(text.size() / 2);
+    for (std::size_t i = 0; i < text.size(); i += 2) {
+        const int hi = nibble(text[i]);
+        const int lo = nibble(text[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return true;
+}
+
+} // namespace ramp::runner::codec
+
+#endif // RAMP_RUNNER_CODEC_HH

@@ -1,0 +1,143 @@
+#include "runner/error.hh"
+
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <ios>
+#include <new>
+#include <unistd.h>
+
+namespace ramp::runner
+{
+
+const char *
+passErrorCodeName(PassErrorCode code)
+{
+    switch (code) {
+      case PassErrorCode::Usage: return "usage";
+      case PassErrorCode::InvalidInput: return "invalid-input";
+      case PassErrorCode::Io: return "io";
+      case PassErrorCode::Corrupt: return "corrupt";
+      case PassErrorCode::Timeout: return "timeout";
+      case PassErrorCode::Cancelled: return "cancelled";
+      case PassErrorCode::OutOfMemory: return "out-of-memory";
+      case PassErrorCode::Internal: return "internal";
+      case PassErrorCode::Unknown: break;
+    }
+    return "unknown";
+}
+
+const char *
+passStatusName(PassStatus status)
+{
+    switch (status) {
+      case PassStatus::Ok: return "ok";
+      case PassStatus::Failed: return "failed";
+      case PassStatus::Timeout: return "timeout";
+      case PassStatus::Skipped: return "skipped";
+    }
+    return "unknown";
+}
+
+ErrorInfo
+describeException(std::exception_ptr error)
+{
+    if (!error)
+        return {PassErrorCode::Unknown, "no exception captured"};
+    try {
+        std::rethrow_exception(error);
+    } catch (const PassError &e) {
+        return {e.code(), e.what()};
+    } catch (const std::filesystem::filesystem_error &e) {
+        return {PassErrorCode::Io, e.what()};
+    } catch (const std::ios_base::failure &e) {
+        return {PassErrorCode::Io, e.what()};
+    } catch (const std::bad_alloc &e) {
+        return {PassErrorCode::OutOfMemory, e.what()};
+    } catch (const std::invalid_argument &e) {
+        return {PassErrorCode::InvalidInput, e.what()};
+    } catch (const std::logic_error &e) {
+        return {PassErrorCode::Internal, e.what()};
+    } catch (const std::exception &e) {
+        return {PassErrorCode::Unknown, e.what()};
+    } catch (...) {
+        return {PassErrorCode::Unknown, "non-standard exception"};
+    }
+}
+
+namespace
+{
+
+std::atomic<bool> cancelRequested{false};
+std::atomic<int> cancelSignal{0};
+std::atomic<bool> handlersInstalled{false};
+
+extern "C" void
+rampSignalHandler(int sig)
+{
+    if (cancelRequested.exchange(true)) {
+        // Second signal: the user means it. Force-exit now.
+        _exit(128 + sig);
+    }
+    cancelSignal.store(sig);
+    // Async-signal-safe progress note.
+    static const char msg[] =
+        "\nramp: shutdown requested; finishing in-flight passes "
+        "and flushing (signal again to force-exit)\n";
+    [[maybe_unused]] const auto n =
+        write(STDERR_FILENO, msg, sizeof(msg) - 1);
+}
+
+} // namespace
+
+bool
+cancellationRequested()
+{
+    return cancelRequested.load(std::memory_order_relaxed);
+}
+
+void
+requestCancellation(int sig)
+{
+    cancelSignal.store(sig);
+    cancelRequested.store(true);
+}
+
+void
+clearCancellation()
+{
+    cancelRequested.store(false);
+    cancelSignal.store(0);
+}
+
+int
+cancellationSignal()
+{
+    return cancelSignal.load();
+}
+
+void
+installSignalHandlers()
+{
+    if (handlersInstalled.exchange(true))
+        return;
+    struct sigaction action = {};
+    action.sa_handler = rampSignalHandler;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+void
+throwIfCancelled(const char *what)
+{
+    if (!cancellationRequested())
+        return;
+    const int sig = cancellationSignal();
+    std::string message = std::string(what) + " interrupted";
+    if (sig != 0)
+        message += " by signal " + std::to_string(sig);
+    throw PassError(PassErrorCode::Cancelled, message);
+}
+
+} // namespace ramp::runner

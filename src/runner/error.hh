@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Structured failure semantics of the experiment runner.
+ *
+ * A long campaign must not die because one pass dies: every failure
+ * a pass can hit is mapped onto a small PassError taxonomy so the
+ * harness can record it (a FAILED row in the table/JSON report),
+ * keep the rest of the sweep running, and exit nonzero with a
+ * summary. The same header owns the cooperative cancellation flag
+ * SIGINT/SIGTERM set: the thread pool polls it between tasks, so a
+ * campaign winds down at a pass boundary, flushes its checkpoint
+ * journal and partial report, and exits 128+signal instead of
+ * losing hours of completed trials.
+ */
+
+#ifndef RAMP_RUNNER_ERROR_HH
+#define RAMP_RUNNER_ERROR_HH
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace ramp::runner
+{
+
+/** What went wrong, coarsely — stamped into reports and messages. */
+enum class PassErrorCode
+{
+    Unknown,      ///< Unrecognised exception type.
+    Usage,        ///< Bad command-line flag (binaries exit 2).
+    InvalidInput, ///< Rejected workload spec or system config.
+    Io,           ///< Filesystem/stream failure.
+    Corrupt,      ///< Checksum or format mismatch in an artifact.
+    Timeout,      ///< Pass exceeded --pass-timeout.
+    Cancelled,    ///< Cooperative shutdown (SIGINT/SIGTERM).
+    OutOfMemory,  ///< Allocation failure inside a pass.
+    Internal,     ///< Broken invariant (a runner bug).
+};
+
+/** Stable lower-case name of a code (JSON `error` field). */
+const char *passErrorCodeName(PassErrorCode code);
+
+/** Terminal state of one recorded pass. */
+enum class PassStatus
+{
+    Ok,      ///< Completed; metrics are valid.
+    Failed,  ///< Threw; metrics are zero, error/message say why.
+    Timeout, ///< Completed but exceeded --pass-timeout.
+    Skipped, ///< Never ran (campaign cancelled first).
+};
+
+/** Stable lower-case name of a status (JSON `status` field). */
+const char *passStatusName(PassStatus status);
+
+/** Typed runner error: a code plus a human-actionable message. */
+class PassError : public std::runtime_error
+{
+  public:
+    PassError(PassErrorCode code, const std::string &message)
+        : std::runtime_error(message), code_(code)
+    {
+    }
+
+    PassErrorCode code() const { return code_; }
+
+  private:
+    PassErrorCode code_;
+};
+
+/** A captured exception, classified for the report. */
+struct ErrorInfo
+{
+    PassErrorCode code = PassErrorCode::Unknown;
+    std::string message;
+};
+
+/**
+ * Classify a captured exception: PassError keeps its code; standard
+ * exception types map onto the taxonomy (invalid_argument ->
+ * InvalidInput, bad_alloc -> OutOfMemory, ios/filesystem -> Io,
+ * logic_error -> Internal); anything else is Unknown.
+ */
+ErrorInfo describeException(std::exception_ptr error);
+
+/** @{ @name Cooperative cancellation
+ * One process-wide flag. Signal handlers (and tests) set it; the
+ * thread pool polls it between tasks and stops handing out work;
+ * the harness observes it after a batch, flushes, and throws
+ * PassError(Cancelled).
+ */
+
+/** True once a shutdown was requested. */
+bool cancellationRequested();
+
+/** Request a shutdown as if signal `sig` arrived (0 = programmatic). */
+void requestCancellation(int sig = 0);
+
+/** Reset the flag (tests only). */
+void clearCancellation();
+
+/** The signal that requested shutdown (0 if none/programmatic). */
+int cancellationSignal();
+
+/**
+ * Install SIGINT/SIGTERM handlers that request cancellation. A
+ * second signal force-exits immediately with 128+sig. Idempotent.
+ */
+void installSignalHandlers();
+
+/** Throw PassError(Cancelled) if a shutdown was requested. */
+void throwIfCancelled(const char *what);
+
+/** @} */
+
+} // namespace ramp::runner
+
+#endif // RAMP_RUNNER_ERROR_HH

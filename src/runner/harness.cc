@@ -1,6 +1,12 @@
 #include "runner/harness.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <iostream>
+#include <optional>
+
+#include "common/logging.hh"
+#include "common/table.hh"
 
 namespace ramp::runner
 {
@@ -17,14 +23,22 @@ Harness::Harness(std::string tool, RunnerOptions options)
       pool_(options_.jobs),
       report_(tool_)
 {
+    validateSystemConfig(config_);
     if (!options_.cacheDir.empty())
         cache_.setDiskDir(options_.cacheDir);
+    if (!options_.checkpointDir.empty())
+        journal_ = std::make_unique<CheckpointJournal>(
+            options_.checkpointDir, tool_);
+    if (options_.passTimeout > 0)
+        watchdog_ = std::make_unique<Watchdog>(options_.passTimeout);
 }
 
 ProfiledWorkloadPtr
 Harness::profile(const WorkloadSpec &spec,
                  const GeneratorOptions &options)
 {
+    validateSystemConfig(config_);
+    throwIfCancelled("profiling");
     auto profiled = cache_.get(config_, spec, options);
     report_.add(profiled->name(), profiled->base);
     return profiled;
@@ -34,14 +48,136 @@ std::vector<ProfiledWorkloadPtr>
 Harness::profileAll(const std::vector<WorkloadSpec> &specs,
                     const GeneratorOptions &options)
 {
+    validateSystemConfig(config_);
+    throwIfCancelled("profiling");
     auto profiled = pool_.map(specs, [&](const WorkloadSpec &spec) {
         return cache_.get(config_, spec, options);
     });
+    throwIfCancelled("profiling");
     // Record baselines after the fan-out so the JSON pass order is
     // the spec order, not the scheduling order.
     for (const auto &wl : profiled)
         report_.add(wl->name(), wl->base);
     return profiled;
+}
+
+std::string
+Harness::passKey(const ProfiledWorkloadPtr &wl,
+                 const std::string &label)
+{
+    const std::string fp = wl ? wl->fingerprint : std::string();
+    return hashHex(fnv1a64(fp)) + "/" + label;
+}
+
+std::vector<PassOutcome>
+Harness::runPassesImpl(const std::vector<PassDesc> &descs,
+                       const std::function<SimResult(std::size_t)> &fn)
+{
+    const std::size_t count = descs.size();
+    std::vector<PassOutcome> outcomes(count);
+
+    // Replay journaled passes; only the rest fan out.
+    std::vector<std::size_t> missing;
+    missing.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto &out = outcomes[i];
+        std::string workload;
+        if (journal_ != nullptr &&
+            journal_->lookup(descs[i].key, workload, out.result)) {
+            out.status = PassStatus::Ok;
+            out.fromCheckpoint = true;
+        } else {
+            missing.push_back(i);
+        }
+    }
+    if (missing.size() < count)
+        ramp_inform("resumed ", count - missing.size(), " of ",
+                    count, " pass(es) from checkpoint journal ",
+                    journal_->path());
+
+    pool_.runIndexed(missing.size(), [&](std::size_t task) {
+        const std::size_t index = missing[task];
+        const PassDesc &desc = descs[index];
+        PassOutcome &out = outcomes[index];
+
+        std::optional<Watchdog::Scope> scope;
+        if (watchdog_ != nullptr)
+            scope.emplace(watchdog_->watch(desc.key));
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            out.result = fn(index);
+            out.status = PassStatus::Ok;
+        } catch (...) {
+            const ErrorInfo info =
+                describeException(std::current_exception());
+            out.result = SimResult{};
+            out.error = info.code;
+            out.message = info.message;
+            if (info.code == PassErrorCode::Cancelled) {
+                out.status = PassStatus::Skipped;
+            } else {
+                out.status = PassStatus::Failed;
+                ramp_warn("pass '", desc.key, "' (", desc.workload,
+                          ") failed [",
+                          passErrorCodeName(info.code),
+                          "]: ", info.message);
+            }
+        }
+        scope.reset();
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        if (out.status == PassStatus::Ok &&
+            cancellationRequested()) {
+            // A nested fan-out inside the pass may have been cut
+            // short by the cancellation flag; never trust (or
+            // journal) a result finished after the request.
+            out.result = SimResult{};
+            out.status = PassStatus::Skipped;
+            out.error = PassErrorCode::Cancelled;
+            out.message = "cancelled while the pass was running";
+            return;
+        }
+        if (out.status == PassStatus::Ok && options_.passTimeout > 0 &&
+            elapsed > options_.passTimeout) {
+            out.status = PassStatus::Timeout;
+            out.error = PassErrorCode::Timeout;
+            out.message =
+                "pass took " + std::to_string(elapsed) +
+                " s (limit " +
+                std::to_string(options_.passTimeout) + " s)";
+            return; // Not journaled: a resume re-runs it.
+        }
+        if (out.status == PassStatus::Ok && journal_ != nullptr)
+            journal_->append(desc.key, desc.workload, out.result);
+    });
+
+    // Record in desc order, so the report never depends on the
+    // scheduling and a resumed run matches an uninterrupted one.
+    for (std::size_t i = 0; i < count; ++i) {
+        auto &out = outcomes[i];
+        if (out.status == PassStatus::Skipped && out.message.empty()) {
+            out.error = PassErrorCode::Cancelled;
+            out.message = "campaign cancelled before this pass ran";
+        }
+        if (out.status == PassStatus::Ok)
+            report_.add(descs[i].workload, out.result);
+        else
+            report_.add(descs[i].workload, out.result, out.status,
+                        passErrorCodeName(out.error), out.message);
+    }
+
+    if (cancellationRequested()) {
+        finish(); // Flush what completed before winding down.
+        const int sig = cancellationSignal();
+        throw PassError(PassErrorCode::Cancelled,
+                        sig != 0 ? "campaign cancelled by signal " +
+                                       std::to_string(sig)
+                                 : "campaign cancelled");
+    }
+    return outcomes;
 }
 
 SimResult
@@ -54,15 +190,28 @@ Harness::record(const std::string &workload, const SimResult &result)
 int
 Harness::finish()
 {
-    if (options_.jsonPath.empty())
-        return 0;
-    if (!report_.writeJson(options_.jsonPath, pool_.jobs(),
+    const auto failures = report_.failures();
+    if (!failures.empty()) {
+        TextTable table({"workload", "label", "status", "error",
+                         "message"});
+        for (const auto &pass : failures)
+            table.addRow({pass.workload, pass.result.label,
+                          passStatusName(pass.status), pass.error,
+                          pass.message});
+        table.print(std::cerr,
+                    tool_ + ": " + std::to_string(failures.size()) +
+                        " pass(es) did not complete");
+    }
+
+    int code = failures.empty() ? 0 : 3;
+    if (!options_.jsonPath.empty() &&
+        !report_.writeJson(options_.jsonPath, pool_.jobs(),
                            cache_.stats())) {
         std::fprintf(stderr, "%s: cannot write JSON report to %s\n",
                      tool_.c_str(), options_.jsonPath.c_str());
-        return 1;
+        code = 1;
     }
-    return 0;
+    return code;
 }
 
 } // namespace ramp::runner

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "runner/error.hh"
+
 namespace ramp::runner
 {
 
@@ -51,6 +53,23 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::runTask(const std::function<void(std::size_t)> &task,
+                    std::size_t index,
+                    std::unique_lock<std::mutex> &lock)
+{
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+        task(index);
+    } catch (...) {
+        error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !error_)
+        error_ = error;
+}
+
+void
 ThreadPool::runIndexed(std::size_t count,
                        const std::function<void(std::size_t)> &task)
 {
@@ -60,27 +79,35 @@ ThreadPool::runIndexed(std::size_t count,
     std::unique_lock<std::mutex> lock(mutex_);
     if (task_ != nullptr || workers_.empty()) {
         // Nested batch (called from inside a task) or single-job
-        // pool: run inline on the calling thread.
+        // pool: run inline on the calling thread. Exceptions
+        // propagate to the enclosing task/caller directly.
         lock.unlock();
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+            if (cancellationRequested())
+                break;
             task(i);
+        }
         return;
     }
 
     task_ = &task;
     count_ = count;
     next_ = 0;
+    error_ = nullptr;
     wake_.notify_all();
 
-    // Participate in the batch.
-    while (next_ < count_) {
-        const std::size_t index = next_++;
-        lock.unlock();
-        task(index);
-        lock.lock();
-    }
+    // Participate in the batch; stop dispatching once cancelled.
+    while (next_ < count_ && !cancellationRequested())
+        runTask(task, next_++, lock);
     idle_.wait(lock, [this] { return inflight_ == 0; });
     task_ = nullptr;
+
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    if (error) {
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -89,17 +116,17 @@ ThreadPool::workerLoop()
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
         wake_.wait(lock, [this] {
-            return stop_ || (task_ != nullptr && next_ < count_);
+            return stop_ || (task_ != nullptr && next_ < count_ &&
+                             !cancellationRequested());
         });
         if (stop_)
             return;
-        while (task_ != nullptr && next_ < count_) {
+        while (task_ != nullptr && next_ < count_ &&
+               !cancellationRequested()) {
             const std::size_t index = next_++;
             ++inflight_;
             const auto *task = task_;
-            lock.unlock();
-            (*task)(index);
-            lock.lock();
+            runTask(*task, index, lock);
             --inflight_;
         }
         if (inflight_ == 0)

@@ -15,6 +15,16 @@
  * inner batch completes even when every worker is busy with outer
  * tasks. Stochastic tasks take an explicit per-task seed derived via
  * taskSeed(), never shared generator state.
+ *
+ * Failure semantics: an exception thrown by a task is captured
+ * instead of terminating the worker thread; the remaining tasks of
+ * the batch still run, and the first captured exception is rethrown
+ * on the calling thread once the batch drains. The pool also polls
+ * the cooperative cancellation flag (runner/error.hh) between
+ * tasks: after SIGINT/SIGTERM no new task starts, in-flight tasks
+ * finish, and the caller observes the partially-filled results (the
+ * harness then flushes and exits). Callers needing per-task
+ * containment (the harness does) catch inside the task themselves.
  */
 
 #ifndef RAMP_RUNNER_POOL_HH
@@ -22,6 +32,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -65,8 +76,10 @@ class ThreadPool
 
     /**
      * Run task(i) for every i in [0, count). Blocks until all
-     * indices completed. The calling thread participates, so this
-     * may be invoked from inside a task.
+     * started indices completed. The calling thread participates,
+     * so this may be invoked from inside a task. Rethrows the first
+     * exception any task threw (after the batch drains); stops
+     * dispatching new indices once cancellation is requested.
      */
     void runIndexed(std::size_t count,
                     const std::function<void(std::size_t)> &task);
@@ -106,11 +119,17 @@ class ThreadPool
     std::condition_variable wake_;
     std::condition_variable idle_;
 
+    /** Run one index, capturing any exception into error_. */
+    void runTask(const std::function<void(std::size_t)> &task,
+                 std::size_t index,
+                 std::unique_lock<std::mutex> &lock);
+
     /** @{ @name Current batch (guarded by mutex_) */
     const std::function<void(std::size_t)> *task_ = nullptr;
     std::size_t count_ = 0;
     std::size_t next_ = 0;
     std::size_t inflight_ = 0;
+    std::exception_ptr error_;
     bool stop_ = false;
     /** @} */
 };

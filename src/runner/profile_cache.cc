@@ -6,9 +6,10 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <unistd.h>
 
 #include "common/logging.hh"
+#include "runner/checkpoint.hh"
+#include "runner/codec.hh"
 
 namespace ramp::runner
 {
@@ -16,20 +17,9 @@ namespace ramp::runner
 namespace
 {
 
+// Version 2 appends a trailing FNV-1a checksum of the payload.
 constexpr char diskMagic[8] = {'R', 'A', 'M', 'P',
-                               'P', 'R', 'F', '1'};
-
-/** FNV-1a 64-bit hash, for cache file names. */
-std::uint64_t
-fnv1a(const std::string &text)
-{
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (const char c : text) {
-        hash ^= static_cast<std::uint8_t>(c);
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
-}
+                               'P', 'R', 'F', '2'};
 
 /** Exact textual form of a double (round-trips via hexfloat). */
 std::string
@@ -39,97 +29,6 @@ exact(double value)
     std::snprintf(buffer, sizeof(buffer), "%a", value);
     return buffer;
 }
-
-void
-putU64(std::vector<std::uint8_t> &out, std::uint64_t value)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(
-            static_cast<std::uint8_t>(value >> (8 * i)));
-}
-
-void
-putF64(std::vector<std::uint8_t> &out, double value)
-{
-    std::uint64_t bits;
-    std::memcpy(&bits, &value, sizeof(bits));
-    putU64(out, bits);
-}
-
-void
-putString(std::vector<std::uint8_t> &out, const std::string &text)
-{
-    putU64(out, text.size());
-    out.insert(out.end(), text.begin(), text.end());
-}
-
-void
-putDramStats(std::vector<std::uint8_t> &out, const DramStats &stats)
-{
-    putU64(out, stats.reads);
-    putU64(out, stats.writes);
-    putU64(out, stats.rowHits);
-    putU64(out, stats.rowMisses);
-    putU64(out, stats.busBusyCycles);
-    putU64(out, stats.totalReadLatency);
-}
-
-/** Bounds-checked little-endian reader over a byte buffer. */
-struct ByteReader
-{
-    const std::vector<std::uint8_t> &bytes;
-    std::size_t pos = 0;
-    bool ok = true;
-
-    std::uint64_t u64()
-    {
-        if (pos + 8 > bytes.size()) {
-            ok = false;
-            return 0;
-        }
-        std::uint64_t value = 0;
-        for (int i = 0; i < 8; ++i)
-            value |= static_cast<std::uint64_t>(bytes[pos + i])
-                     << (8 * i);
-        pos += 8;
-        return value;
-    }
-
-    double f64()
-    {
-        const std::uint64_t bits = u64();
-        double value;
-        std::memcpy(&value, &bits, sizeof(value));
-        return value;
-    }
-
-    std::string str()
-    {
-        const std::uint64_t size = u64();
-        if (!ok || pos + size > bytes.size()) {
-            ok = false;
-            return {};
-        }
-        std::string text(bytes.begin() +
-                             static_cast<std::ptrdiff_t>(pos),
-                         bytes.begin() +
-                             static_cast<std::ptrdiff_t>(pos + size));
-        pos += size;
-        return text;
-    }
-
-    DramStats dramStats()
-    {
-        DramStats stats;
-        stats.reads = u64();
-        stats.writes = u64();
-        stats.rowHits = u64();
-        stats.rowMisses = u64();
-        stats.busBusyCycles = u64();
-        stats.totalReadLatency = u64();
-        return stats;
-    }
-};
 
 void
 appendDramConfig(std::ostringstream &out, const DramConfig &config)
@@ -180,25 +79,11 @@ std::vector<std::uint8_t>
 ProfileCache::serializeBaseline(const std::string &fingerprint,
                                 const SimResult &base)
 {
-    std::vector<std::uint8_t> out;
-    out.insert(out.end(), diskMagic, diskMagic + sizeof(diskMagic));
-    putString(out, fingerprint);
-    putString(out, base.label);
-    putU64(out, base.makespan);
-    putU64(out, base.instructions);
-    putU64(out, base.requests);
-    putU64(out, base.reads);
-    putU64(out, base.writes);
-    putF64(out, base.ipc);
-    putF64(out, base.mpki);
-    putF64(out, base.avgReadLatency);
-    putF64(out, base.hbmAccessFraction);
-    putDramStats(out, base.hbmStats);
-    putDramStats(out, base.ddrStats);
-    putU64(out, base.migratedPages);
-    putU64(out, base.migrationEvents);
-    putF64(out, base.memoryAvf);
-    putF64(out, base.ser);
+    codec::Writer out;
+    out.bytes.insert(out.bytes.end(), diskMagic,
+                     diskMagic + sizeof(diskMagic));
+    out.str(fingerprint);
+    out.result(base);
 
     // Per-page profile, sorted for a canonical byte stream.
     auto pages = base.profile.entries();
@@ -206,14 +91,21 @@ ProfileCache::serializeBaseline(const std::string &fingerprint,
               [](const auto &a, const auto &b) {
                   return a.first < b.first;
               });
-    putU64(out, pages.size());
+    out.u64(pages.size());
     for (const auto &[page, stats] : pages) {
-        putU64(out, page);
-        putU64(out, stats.reads);
-        putU64(out, stats.writes);
-        putF64(out, stats.avf);
+        out.u64(page);
+        out.u64(stats.reads);
+        out.u64(stats.writes);
+        out.f64(stats.avf);
     }
-    return out;
+
+    // Trailing checksum over everything before it; a torn or
+    // bit-flipped file fails verification instead of being loaded.
+    const std::uint64_t crc = fnv1a64(std::string_view(
+        reinterpret_cast<const char *>(out.bytes.data()),
+        out.bytes.size()));
+    out.u64(crc);
+    return std::move(out.bytes);
 }
 
 bool
@@ -221,32 +113,22 @@ ProfileCache::deserializeBaseline(
     const std::vector<std::uint8_t> &bytes,
     const std::string &fingerprint, SimResult &base)
 {
-    if (bytes.size() < sizeof(diskMagic) ||
+    if (bytes.size() < sizeof(diskMagic) + 8 ||
         std::memcmp(bytes.data(), diskMagic, sizeof(diskMagic)) != 0)
         return false;
 
-    ByteReader in{bytes, sizeof(diskMagic)};
+    const std::size_t payload = bytes.size() - 8;
+    codec::Reader crc_in{bytes, payload};
+    if (crc_in.u64() !=
+        fnv1a64(std::string_view(
+            reinterpret_cast<const char *>(bytes.data()), payload)))
+        return false;
+
+    codec::Reader in{bytes, sizeof(diskMagic)};
     if (in.str() != fingerprint || !in.ok)
         return false;
 
-    SimResult result;
-    result.label = in.str();
-    result.makespan = in.u64();
-    result.instructions = in.u64();
-    result.requests = in.u64();
-    result.reads = in.u64();
-    result.writes = in.u64();
-    result.ipc = in.f64();
-    result.mpki = in.f64();
-    result.avgReadLatency = in.f64();
-    result.hbmAccessFraction = in.f64();
-    result.hbmStats = in.dramStats();
-    result.ddrStats = in.dramStats();
-    result.migratedPages = in.u64();
-    result.migrationEvents = in.u64();
-    result.memoryAvf = in.f64();
-    result.ser = in.f64();
-
+    SimResult result = in.result();
     const std::uint64_t page_count = in.u64();
     for (std::uint64_t i = 0; i < page_count && in.ok; ++i) {
         const PageId page = in.u64();
@@ -267,7 +149,7 @@ ProfileCache::diskPathFor(const std::string &key) const
 {
     char name[32];
     std::snprintf(name, sizeof(name), "%016llx.profile",
-                  static_cast<unsigned long long>(fnv1a(key)));
+                  static_cast<unsigned long long>(fnv1a64(key)));
     return disk_dir_ + "/" + name;
 }
 
@@ -279,6 +161,7 @@ ProfileCache::compute(const SystemConfig &config,
 {
     auto profiled = std::make_shared<ProfiledWorkload>();
     profiled->data = prepareWorkload(spec, options);
+    profiled->fingerprint = key;
 
     std::string disk_path;
     {
@@ -298,6 +181,16 @@ ProfileCache::compute(const SystemConfig &config,
                 ++stats_.diskHits;
                 return profiled;
             }
+            // Never trust a damaged entry: move it aside so it can
+            // be inspected, then recompute and rewrite it.
+            std::error_code ec;
+            std::filesystem::rename(disk_path,
+                                    disk_path + ".corrupt", ec);
+            ramp_warn("profile cache entry ", disk_path,
+                      " failed its checksum; quarantined as "
+                      ".corrupt and recomputing");
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.quarantined;
         }
     }
 
@@ -308,24 +201,18 @@ ProfileCache::compute(const SystemConfig &config,
     }
 
     if (!disk_path.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(
-            std::filesystem::path(disk_path).parent_path(), ec);
-        const std::string tmp =
-            disk_path + ".tmp" + std::to_string(::getpid());
         const auto bytes = serializeBaseline(key, profiled->base);
-        std::ofstream out(tmp, std::ios::binary);
-        if (out) {
-            out.write(reinterpret_cast<const char *>(bytes.data()),
-                      static_cast<std::streamsize>(bytes.size()));
-            out.close();
-            std::filesystem::rename(tmp, disk_path, ec);
-            if (!ec) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.diskWrites;
-            } else {
-                std::filesystem::remove(tmp, ec);
-            }
+        std::string error;
+        if (atomicWriteFile(
+                disk_path,
+                std::string_view(
+                    reinterpret_cast<const char *>(bytes.data()),
+                    bytes.size()),
+                &error)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.diskWrites;
+        } else {
+            ramp_warn("profile cache write failed: ", error);
         }
     }
     return profiled;

@@ -14,6 +14,10 @@
  * successive bench binaries skip the profiling simulation entirely;
  * traces are regenerated from the spec on a disk hit (generation is
  * cheap relative to simulation and keeps the cache files small).
+ * Disk entries carry a trailing FNV-1a checksum: a corrupt or torn
+ * file is quarantined (renamed *.corrupt) and recomputed instead of
+ * being trusted, and writes go through a unique temp file + rename
+ * so concurrent processes never observe a partial entry.
  */
 
 #ifndef RAMP_RUNNER_PROFILE_CACHE_HH
@@ -40,6 +44,12 @@ struct ProfiledWorkload
     /** DDR-only pass; its profile drives the static policies. */
     SimResult base;
 
+    /**
+     * Canonical cache key this entry was computed under; the
+     * checkpoint journal derives its pass keys from it.
+     */
+    std::string fingerprint;
+
     const PageProfile &profile() const { return base.profile; }
     const std::string &name() const { return data.spec.name; }
 };
@@ -61,6 +71,9 @@ struct ProfileCacheStats
 
     /** Cache files written after a miss. */
     std::uint64_t diskWrites = 0;
+
+    /** Corrupt cache files quarantined (*.corrupt) and recomputed. */
+    std::uint64_t quarantined = 0;
 };
 
 /** Process-wide, thread-safe cache of profiling passes. */
@@ -101,13 +114,15 @@ class ProfileCache
                                    const GeneratorOptions &options);
 
     /** @{ @name On-disk baseline serialisation (exposed for tests) */
+    /** Magic + payload + trailing FNV-1a checksum of the payload. */
     static std::vector<std::uint8_t>
     serializeBaseline(const std::string &fingerprint,
                       const SimResult &base);
 
     /**
-     * Parse a serialised baseline; returns false on a format,
-     * version, or fingerprint mismatch (treated as a cache miss).
+     * Parse a serialised baseline; returns false on a checksum,
+     * format, version, or fingerprint mismatch (the caller
+     * quarantines the file and recomputes).
      */
     static bool deserializeBaseline(
         const std::vector<std::uint8_t> &bytes,

@@ -3,11 +3,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "runner/checkpoint.hh"
 
 namespace ramp::runner
 {
@@ -40,6 +40,25 @@ RatioColumn::lossCell(int precision) const
     return TextTable::percent(1.0 - mean(), precision);
 }
 
+namespace
+{
+
+/** Positive double for --pass-timeout; throws PassError(Usage). */
+double
+parseTimeout(const std::string &text)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !(parsed > 0))
+        throw PassError(PassErrorCode::Usage,
+                        "--pass-timeout needs a positive number of "
+                        "seconds, got '" +
+                            text + "'");
+    return parsed;
+}
+
+} // namespace
+
 RunnerOptions
 RunnerOptions::parse(int argc, char **argv)
 {
@@ -48,16 +67,20 @@ RunnerOptions::parse(int argc, char **argv)
         options.jsonPath = env;
     if (const char *env = std::getenv("RAMP_CACHE_DIR"))
         options.cacheDir = env;
+    if (const char *env = std::getenv("RAMP_CHECKPOINT"))
+        options.checkpointDir = env;
+    if (const char *env = std::getenv("RAMP_PASS_TIMEOUT"))
+        options.passTimeout = parseTimeout(env);
     // RAMP_JOBS is honoured by ThreadPool::defaultJobs(); jobs = 0
     // defers to it.
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&](const char *flag) -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
-                std::exit(2);
-            }
+            if (i + 1 >= argc)
+                throw PassError(PassErrorCode::Usage,
+                                std::string(flag) +
+                                    " needs a value");
             return argv[++i];
         };
         if (arg == "--jobs" || arg == "-j") {
@@ -65,18 +88,21 @@ RunnerOptions::parse(int argc, char **argv)
             char *end = nullptr;
             const long parsed =
                 std::strtol(text.c_str(), &end, 10);
-            if (end == text.c_str() || *end != '\0' || parsed < 1) {
-                std::fprintf(stderr,
-                             "--jobs needs a positive integer, got "
-                             "'%s'\n",
-                             text.c_str());
-                std::exit(2);
-            }
+            if (end == text.c_str() || *end != '\0' || parsed < 1)
+                throw PassError(PassErrorCode::Usage,
+                                "--jobs needs a positive integer, "
+                                "got '" +
+                                    text + "'");
             options.jobs = static_cast<unsigned>(parsed);
         } else if (arg == "--json") {
             options.jsonPath = value("--json");
         } else if (arg == "--cache-dir") {
             options.cacheDir = value("--cache-dir");
+        } else if (arg == "--checkpoint") {
+            options.checkpointDir = value("--checkpoint");
+        } else if (arg == "--pass-timeout") {
+            options.passTimeout =
+                parseTimeout(value("--pass-timeout"));
         } else {
             options.positional.push_back(arg);
         }
@@ -92,7 +118,11 @@ RunnerOptions::flagsHelp()
            "  --json PATH     write machine-readable results "
            "(env RAMP_JSON)\n"
            "  --cache-dir D   persist profiling passes on disk "
-           "(env RAMP_CACHE_DIR)\n";
+           "(env RAMP_CACHE_DIR)\n"
+           "  --checkpoint D  journal completed passes; resume a "
+           "killed campaign (env RAMP_CHECKPOINT)\n"
+           "  --pass-timeout S  flag passes running longer than S "
+           "seconds (env RAMP_PASS_TIMEOUT)\n";
 }
 
 Report::Report(std::string tool)
@@ -104,7 +134,19 @@ void
 Report::add(const std::string &workload, const SimResult &result)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    passes_.push_back({workload, result});
+    PassRecord record;
+    record.workload = workload;
+    record.result = result;
+    passes_.push_back(std::move(record));
+}
+
+void
+Report::add(const std::string &workload, const SimResult &result,
+            PassStatus status, const std::string &error,
+            const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    passes_.push_back({workload, result, status, error, message});
 }
 
 std::vector<PassRecord>
@@ -112,6 +154,17 @@ Report::passes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return passes_;
+}
+
+std::vector<PassRecord>
+Report::failures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PassRecord> out;
+    for (const auto &pass : passes_)
+        if (pass.status != PassStatus::Ok)
+            out.push_back(pass);
+    return out;
 }
 
 namespace
@@ -161,10 +214,7 @@ bool
 Report::writeJson(const std::string &path, unsigned jobs,
                   const ProfileCacheStats &cache_stats) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-
+    std::ostringstream out;
     const auto passes = this->passes();
     out << "{\n"
         << "  \"tool\": \"" << jsonEscape(tool_) << "\",\n"
@@ -178,10 +228,17 @@ Report::writeJson(const std::string &path, unsigned jobs,
         << "  },\n"
         << "  \"passes\": [\n";
     for (std::size_t i = 0; i < passes.size(); ++i) {
-        const auto &[workload, r] = passes[i];
-        out << "    {\"workload\": \"" << jsonEscape(workload)
+        const auto &pass = passes[i];
+        const auto &r = pass.result;
+        out << "    {\"workload\": \"" << jsonEscape(pass.workload)
             << "\", \"label\": \"" << jsonEscape(r.label) << "\""
-            << ", \"ipc\": " << jsonNumber(r.ipc)
+            << ", \"status\": \"" << passStatusName(pass.status)
+            << "\"";
+        if (pass.status != PassStatus::Ok)
+            out << ", \"error\": \"" << jsonEscape(pass.error)
+                << "\", \"message\": \"" << jsonEscape(pass.message)
+                << "\"";
+        out << ", \"ipc\": " << jsonNumber(r.ipc)
             << ", \"mpki\": " << jsonNumber(r.mpki)
             << ", \"ser\": " << jsonNumber(r.ser)
             << ", \"memory_avf\": " << jsonNumber(r.memoryAvf)
@@ -197,7 +254,7 @@ Report::writeJson(const std::string &path, unsigned jobs,
             << "}" << (i + 1 < passes.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
-    return static_cast<bool>(out);
+    return atomicWriteFile(path, out.str());
 }
 
 } // namespace ramp::runner

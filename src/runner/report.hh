@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "hma/system.hh"
+#include "runner/error.hh"
 #include "runner/profile_cache.hh"
 
 namespace ramp::runner
@@ -72,13 +73,22 @@ struct RunnerOptions
     /** On-disk profile-cache directory ("" = memory-only). */
     std::string cacheDir;
 
+    /** Checkpoint-journal directory ("" = no checkpointing). */
+    std::string checkpointDir;
+
+    /** Watchdog threshold in seconds (0 = no watchdog). */
+    double passTimeout = 0;
+
     /** Arguments not consumed by the runner, in order. */
     std::vector<std::string> positional;
 
     /**
-     * Parse --jobs N, --json PATH, and --cache-dir PATH from argv
-     * (with RAMP_JOBS / RAMP_JSON / RAMP_CACHE_DIR environment
-     * fallbacks); everything else lands in positional.
+     * Parse --jobs N, --json PATH, --cache-dir PATH, --checkpoint
+     * DIR, and --pass-timeout S from argv (with RAMP_JOBS /
+     * RAMP_JSON / RAMP_CACHE_DIR / RAMP_CHECKPOINT /
+     * RAMP_PASS_TIMEOUT environment fallbacks); everything else
+     * lands in positional. Throws PassError(Usage) on a malformed
+     * flag — the binary decides the exit code.
      */
     static RunnerOptions parse(int argc, char **argv);
 
@@ -91,6 +101,15 @@ struct PassRecord
 {
     std::string workload;
     SimResult result;
+
+    /** Terminal state; non-Ok records carry error/message. */
+    PassStatus status = PassStatus::Ok;
+
+    /** Error-code name (passErrorCodeName) when not Ok. */
+    std::string error;
+
+    /** Human-readable failure description when not Ok. */
+    std::string message;
 };
 
 /** Thread-safe collector of pass results; writes the JSON view. */
@@ -103,13 +122,22 @@ class Report
     /** Record one pass (label taken from result.label). */
     void add(const std::string &workload, const SimResult &result);
 
+    /** Record one pass with an explicit terminal status. */
+    void add(const std::string &workload, const SimResult &result,
+             PassStatus status, const std::string &error,
+             const std::string &message);
+
     /** Recorded passes, in recording order. */
     std::vector<PassRecord> passes() const;
 
+    /** Recorded passes whose status is not Ok, in order. */
+    std::vector<PassRecord> failures() const;
+
     /**
-     * Write the JSON document: tool, jobs, per-pass metrics, and
-     * the profile-cache counters. Returns false when the file
-     * cannot be written.
+     * Write the JSON document: tool, jobs, per-pass metrics and
+     * status, and the profile-cache counters. The write is atomic
+     * (unique temp file + rename), so a crash never leaves a torn
+     * report. Returns false when the file cannot be written.
      */
     bool writeJson(const std::string &path, unsigned jobs,
                    const ProfileCacheStats &cache_stats) const;

@@ -1,0 +1,73 @@
+#include "runner/watchdog.hh"
+
+#include "common/logging.hh"
+
+namespace ramp::runner
+{
+
+Watchdog::Watchdog(double timeout_seconds)
+    : timeout_(timeout_seconds), thread_([this] { loop(); })
+{
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+}
+
+Watchdog::Scope
+Watchdog::watch(std::string label)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = next_id_++;
+    entries_.emplace(id, Entry{std::move(label),
+                               std::chrono::steady_clock::now(),
+                               false});
+    return Scope(this, id);
+}
+
+void
+Watchdog::unwatch(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(id);
+}
+
+void
+Watchdog::Scope::release()
+{
+    if (dog_ != nullptr)
+        dog_->unwatch(id_);
+    dog_ = nullptr;
+}
+
+void
+Watchdog::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        wake_.wait_for(lock, std::chrono::milliseconds(250));
+        const auto now = std::chrono::steady_clock::now();
+        for (auto &[id, entry] : entries_) {
+            if (entry.warned)
+                continue;
+            const double elapsed =
+                std::chrono::duration<double>(now - entry.start)
+                    .count();
+            if (elapsed > timeout_) {
+                entry.warned = true;
+                ramp_warn("pass '", entry.label,
+                          "' exceeded --pass-timeout (", timeout_,
+                          " s) and is still running; it will be "
+                          "flagged TIMEOUT in the report");
+            }
+        }
+    }
+}
+
+} // namespace ramp::runner

@@ -1,6 +1,7 @@
 #include "trace/workload.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -379,8 +380,74 @@ benchmarkProfile(const std::string &name)
     const auto &reg = registry();
     const auto it = reg.find(name);
     if (it == reg.end())
-        ramp_fatal("unknown benchmark: ", name);
+        ramp_invalid("unknown benchmark '", name,
+                     "'; see allBenchmarkNames() for the registry");
     return it->second;
+}
+
+void
+validateStructureSpec(const std::string &context,
+                      const StructureSpec &spec)
+{
+    if (spec.name.empty())
+        ramp_invalid(context, ": structure has an empty name");
+    const std::string where = context + ", structure '" + spec.name +
+                              "'";
+    if (spec.pages == 0)
+        ramp_invalid(where, ": footprint is 0 pages; every "
+                            "structure needs at least one page");
+    if (!std::isfinite(spec.weight) || spec.weight < 0)
+        ramp_invalid(where, ": hotness weight ", spec.weight,
+                     " must be a finite non-negative number");
+    if (!std::isfinite(spec.zipfAlpha) || spec.zipfAlpha < 0)
+        ramp_invalid(where, ": zipfAlpha ", spec.zipfAlpha,
+                     " must be a finite non-negative number");
+    if (!std::isfinite(spec.writeFraction) ||
+        spec.writeFraction < 0 || spec.writeFraction > 1)
+        ramp_invalid(where, ": writeFraction ", spec.writeFraction,
+                     " must lie in [0, 1]");
+    if (!std::isfinite(spec.churn) || spec.churn < 0 ||
+        spec.churn > 1)
+        ramp_invalid(where, ": churn ", spec.churn,
+                     " must lie in [0, 1]");
+    if (spec.readPasses == 0)
+        ramp_invalid(where, ": readPasses must be >= 1");
+    if (spec.strideLines == 0)
+        ramp_invalid(where, ": strideLines must be >= 1");
+    if (!std::isfinite(spec.readProbability) ||
+        spec.readProbability < 0 || spec.readProbability > 1)
+        ramp_invalid(where, ": readProbability ",
+                     spec.readProbability, " must lie in [0, 1]");
+}
+
+void
+validateBenchmarkProfile(const BenchmarkProfile &profile)
+{
+    if (profile.name.empty())
+        ramp_invalid("benchmark profile has an empty name");
+    const std::string where = "benchmark '" + profile.name + "'";
+    if (!std::isfinite(profile.mpki) || profile.mpki <= 0)
+        ramp_invalid(where, ": mpki ", profile.mpki,
+                     " must be a finite positive number");
+    if (profile.requestsPerCore == 0)
+        ramp_invalid(where, ": requestsPerCore must be >= 1");
+    if (profile.structures.empty())
+        ramp_invalid(where, ": needs at least one structure");
+    for (const auto &spec : profile.structures)
+        validateStructureSpec(where, spec);
+}
+
+void
+validateWorkloadSpec(const WorkloadSpec &spec)
+{
+    if (spec.name.empty())
+        ramp_invalid("workload spec has an empty name");
+    if (spec.coreBenchmarks.size() != workloadCores)
+        ramp_invalid("workload '", spec.name, "' assigns ",
+                     spec.coreBenchmarks.size(),
+                     " cores; the system has ", workloadCores);
+    for (const auto &bench : spec.coreBenchmarks)
+        validateBenchmarkProfile(benchmarkProfile(bench));
 }
 
 std::vector<std::string>
@@ -436,7 +503,8 @@ mixWorkload(const std::string &name)
                               {"GemsFDTD", 1}, {"bzip", 3},
                               {"bwaves", 1}, {"cactusADM", 5}});
     }
-    ramp_fatal("unknown mix workload: ", name);
+    ramp_invalid("unknown mix workload '", name,
+                 "'; the Table 2 mixes are mix1..mix5");
 }
 
 std::vector<WorkloadSpec>
@@ -482,8 +550,8 @@ WorkloadLayout
 buildLayout(const WorkloadSpec &spec)
 {
     if (spec.coreBenchmarks.size() != workloadCores)
-        ramp_fatal("workload ", spec.name, " must define ",
-                   workloadCores, " cores");
+        ramp_invalid("workload '", spec.name, "' must define ",
+                     workloadCores, " cores");
     WorkloadLayout layout;
     PageId next = 0;
     for (std::size_t core = 0; core < spec.coreBenchmarks.size();

@@ -61,9 +61,23 @@ struct WorkloadSpec
  *
  * Registry covers the paper's seven homogeneous SPEC programs, the
  * two DoE proxy apps (XSBench, LULESH), and the additional SPEC
- * programs that appear only inside the Table 2 mixes.
+ * programs that appear only inside the Table 2 mixes. Throws
+ * std::invalid_argument for an unknown name.
  */
 const BenchmarkProfile &benchmarkProfile(const std::string &name);
+
+/**
+ * @{ @name Load-time input validation
+ * Reject malformed inputs with std::invalid_argument carrying an
+ * actionable message (which structure/field and what the legal range
+ * is) instead of silently producing nonsense metrics. The runner
+ * contains the throw as an InvalidInput pass failure.
+ */
+void validateStructureSpec(const std::string &context,
+                           const StructureSpec &spec);
+void validateBenchmarkProfile(const BenchmarkProfile &profile);
+void validateWorkloadSpec(const WorkloadSpec &spec);
+/** @} */
 
 /** Names of all registered benchmark programs. */
 std::vector<std::string> allBenchmarkNames();

@@ -2,7 +2,8 @@
  * @file
  * Tests for the parallel experiment runner (src/runner): the
  * deterministic thread pool, the profile cache (memory and disk
- * layers), the result sink, and FaultSim trial sharding.
+ * layers), the result sink, fault containment in runPasses(), and
+ * FaultSim trial sharding.
  */
 
 #include <atomic>
@@ -10,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,11 +25,25 @@ namespace ramp
 namespace
 {
 
+using runner::Harness;
+using runner::PassDesc;
+using runner::PassError;
+using runner::PassErrorCode;
+using runner::PassStatus;
 using runner::ProfileCache;
 using runner::ProfiledWorkloadPtr;
 using runner::RatioColumn;
 using runner::RunnerOptions;
 using runner::ThreadPool;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
 
 GeneratorOptions
 smallTraces()
@@ -95,6 +111,79 @@ TEST(ThreadPool, NestedMapDoesNotDeadlock)
     });
     for (std::size_t outer = 0; outer < sums.size(); ++outer)
         EXPECT_EQ(sums[outer], outer * 800 + 28);
+}
+
+TEST(ThreadPool, RethrowsFirstTaskException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.runIndexed(64,
+                                 [](std::size_t i) {
+                                     if (i == 5)
+                                         throw std::invalid_argument(
+                                             "task 5 boom");
+                                 }),
+                 std::invalid_argument);
+    // The pool must stay usable after a failed batch.
+    const auto values =
+        pool.mapIndex(8, [](std::size_t i) { return i + 1; });
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_EQ(values[i], i + 1);
+}
+
+TEST(ThreadPool, CancellationStopsDispatch)
+{
+    runner::clearCancellation();
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    runner::requestCancellation();
+    pool.runIndexed(100, [&](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 0);
+    runner::clearCancellation();
+    pool.runIndexed(10, [&](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(PassErrorTaxonomy, ClassifiesCommonExceptions)
+{
+    const auto classify = [](auto &&thrower) {
+        try {
+            thrower();
+        } catch (...) {
+            return runner::describeException(
+                std::current_exception());
+        }
+        return runner::ErrorInfo{};
+    };
+    EXPECT_EQ(classify([] {
+                  throw std::invalid_argument("bad spec");
+              }).code,
+              PassErrorCode::InvalidInput);
+    EXPECT_EQ(classify([] { throw std::bad_alloc(); }).code,
+              PassErrorCode::OutOfMemory);
+    EXPECT_EQ(classify([] {
+                  throw std::logic_error("broken invariant");
+              }).code,
+              PassErrorCode::Internal);
+    EXPECT_EQ(classify([] {
+                  throw PassError(PassErrorCode::Corrupt,
+                                  "bad checksum");
+              }).code,
+              PassErrorCode::Corrupt);
+    EXPECT_EQ(classify([] { throw 42; }).code,
+              PassErrorCode::Unknown);
+    EXPECT_EQ(classify([] {
+                  throw std::invalid_argument("msg text");
+              }).message,
+              "msg text");
+    EXPECT_STREQ(
+        runner::passErrorCodeName(PassErrorCode::InvalidInput),
+        "invalid-input");
+    EXPECT_STREQ(runner::passStatusName(PassStatus::Failed),
+                 "failed");
 }
 
 TEST(ThreadPool, SimulationPassesMatchSerial)
@@ -267,6 +356,183 @@ TEST(RunnerOptions, ParsesFlagsAndPositionals)
     ASSERT_EQ(options.positional.size(), 2u);
     EXPECT_EQ(options.positional[0], "alpha");
     EXPECT_EQ(options.positional[1], "beta");
+}
+
+TEST(RunnerOptions, ParsesCheckpointAndTimeoutFlags)
+{
+    const char *argv[] = {"tool", "--checkpoint", "ckptdir",
+                          "--pass-timeout", "2.5"};
+    const auto options = RunnerOptions::parse(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv));
+    EXPECT_EQ(options.checkpointDir, "ckptdir");
+    EXPECT_DOUBLE_EQ(options.passTimeout, 2.5);
+}
+
+TEST(RunnerOptions, RejectsBadFlagsWithUsageErrors)
+{
+    const auto expect_usage = [](std::vector<const char *> argv) {
+        try {
+            RunnerOptions::parse(static_cast<int>(argv.size()),
+                                 const_cast<char **>(argv.data()));
+            FAIL() << "expected PassError(Usage)";
+        } catch (const PassError &error) {
+            EXPECT_EQ(error.code(), PassErrorCode::Usage);
+            EXPECT_FALSE(std::string(error.what()).empty());
+        }
+    };
+    expect_usage({"tool", "--jobs", "zero"});
+    expect_usage({"tool", "--jobs", "0"});
+    expect_usage({"tool", "--pass-timeout", "nope"});
+    expect_usage({"tool", "--pass-timeout", "-1"});
+    expect_usage({"tool", "--checkpoint"});
+    expect_usage({"tool", "--json"});
+}
+
+TEST(Harness, FailingPassBecomesFailedRow)
+{
+    RunnerOptions options;
+    options.jobs = 2;
+    options.jsonPath =
+        ::testing::TempDir() + "ramp_runner_contained.json";
+    std::remove(options.jsonPath.c_str());
+
+    Harness harness("contained_tool", options);
+    const auto wl =
+        harness.profile(homogeneousWorkload("astar"), smallTraces());
+    const SystemConfig &config = harness.config();
+
+    const std::vector<PassDesc> descs = {
+        {wl->name(), Harness::passKey(wl, "good-a")},
+        {wl->name(), Harness::passKey(wl, "bad")},
+        {wl->name(), Harness::passKey(wl, "good-b")},
+    };
+    const auto outcomes = harness.runPasses(
+        descs, [&](std::size_t i) {
+            if (i == 1)
+                throw std::invalid_argument("synthetic failure");
+            return runStaticPolicy(config, wl->data,
+                                   StaticPolicy::PerfFocused,
+                                   wl->profile());
+        });
+
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].status, PassStatus::Ok);
+    EXPECT_EQ(outcomes[1].status, PassStatus::Failed);
+    EXPECT_EQ(outcomes[1].error, PassErrorCode::InvalidInput);
+    EXPECT_EQ(outcomes[1].message, "synthetic failure");
+    EXPECT_EQ(outcomes[1].result.instructions, 0u);
+    EXPECT_EQ(outcomes[2].status, PassStatus::Ok);
+
+    // One pass failed: the campaign still completed, the report
+    // carries the failure, and the exit code is nonzero.
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(harness.finish(), 3);
+    const std::string summary =
+        testing::internal::GetCapturedStderr();
+    EXPECT_NE(summary.find("did not complete"), std::string::npos);
+    EXPECT_NE(summary.find("synthetic failure"), std::string::npos);
+
+    const std::string json = slurp(options.jsonPath);
+    EXPECT_NE(json.find("\"status\": \"failed\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"error\": \"invalid-input\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"message\": \"synthetic failure\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+    std::remove(options.jsonPath.c_str());
+}
+
+TEST(Harness, TimeoutFlagsSlowPasses)
+{
+    RunnerOptions options;
+    options.jobs = 1;
+    options.passTimeout = 1e-9; // everything overstays
+    Harness harness("timeout_tool", options);
+    const auto wl =
+        harness.profile(homogeneousWorkload("astar"), smallTraces());
+    const SystemConfig &config = harness.config();
+
+    const std::vector<PassDesc> descs = {
+        {wl->name(), Harness::passKey(wl, "slow")}};
+    const auto outcomes = harness.runPasses(
+        descs, [&](std::size_t) {
+            return runStaticPolicy(config, wl->data,
+                                   StaticPolicy::PerfFocused,
+                                   wl->profile());
+        });
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, PassStatus::Timeout);
+    // The metrics are valid (the pass did finish)...
+    EXPECT_TRUE(outcomes[0].ok());
+    EXPECT_GT(outcomes[0].result.instructions, 0u);
+    // ...but the campaign still reports the budget violation.
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(harness.finish(), 3);
+    testing::internal::GetCapturedStderr();
+}
+
+TEST(Harness, CancellationSkipsRemainingPasses)
+{
+    runner::clearCancellation();
+    RunnerOptions options;
+    options.jobs = 1;
+    Harness harness("cancel_tool", options);
+    const auto wl =
+        harness.profile(homogeneousWorkload("astar"), smallTraces());
+    const SystemConfig &config = harness.config();
+
+    std::vector<PassDesc> descs;
+    for (const char *label : {"one", "two", "three"})
+        descs.push_back({wl->name(), Harness::passKey(wl, label)});
+
+    std::atomic<int> ran{0};
+    try {
+        testing::internal::CaptureStderr();
+        harness.runPasses(descs, [&](std::size_t i) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            if (i == 0)
+                runner::requestCancellation();
+            return runStaticPolicy(config, wl->data,
+                                   StaticPolicy::PerfFocused,
+                                   wl->profile());
+        });
+        testing::internal::GetCapturedStderr();
+        FAIL() << "expected PassError(Cancelled)";
+    } catch (const PassError &error) {
+        testing::internal::GetCapturedStderr();
+        EXPECT_EQ(error.code(), PassErrorCode::Cancelled);
+    }
+    runner::clearCancellation();
+
+    // Only the first pass ran; every recorded pass is non-Ok (the
+    // first completed after the flag was raised, so its result is
+    // untrusted and demoted to skipped).
+    EXPECT_EQ(ran.load(), 1);
+    const auto passes = harness.report().passes();
+    std::size_t skipped = 0;
+    for (const auto &pass : passes)
+        if (pass.status == PassStatus::Skipped)
+            ++skipped;
+    EXPECT_EQ(skipped, 3u);
+}
+
+TEST(Harness, PassKeyCoversFingerprintAndLabel)
+{
+    RunnerOptions options;
+    options.jobs = 1;
+    Harness harness("key_tool", options);
+    const auto astar =
+        harness.profile(homogeneousWorkload("astar"), smallTraces());
+    const auto mcf =
+        harness.profile(homogeneousWorkload("mcf"), smallTraces());
+    EXPECT_NE(Harness::passKey(astar, "perf"),
+              Harness::passKey(astar, "rel"));
+    EXPECT_NE(Harness::passKey(astar, "perf"),
+              Harness::passKey(mcf, "perf"));
+    EXPECT_EQ(Harness::passKey(astar, "perf"),
+              Harness::passKey(astar, "perf"));
 }
 
 TEST(Harness, RecordsAndWritesJson)

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <stdexcept>
 
 #include "trace/workload.hh"
 
@@ -184,12 +186,62 @@ TEST(Layout, EveryCoreHasItsProgramStructures)
     }
 }
 
-TEST(WorkloadsDeathTest, UnknownNamesAreFatal)
+TEST(Workloads, UnknownNamesThrowInvalidArgument)
 {
-    EXPECT_EXIT(benchmarkProfile("nosuch"),
-                ::testing::ExitedWithCode(1), "unknown benchmark");
-    EXPECT_EXIT(mixWorkload("mix9"), ::testing::ExitedWithCode(1),
-                "unknown mix");
+    // Unknown names are user input, so they throw (the runner
+    // contains the failure) instead of exiting the process.
+    EXPECT_THROW(benchmarkProfile("nosuch"), std::invalid_argument);
+    EXPECT_THROW(mixWorkload("mix9"), std::invalid_argument);
+}
+
+TEST(Validation, AcceptsEveryRegisteredWorkload)
+{
+    for (const auto &spec : standardWorkloads())
+        EXPECT_NO_THROW(validateWorkloadSpec(spec));
+}
+
+TEST(Validation, RejectsMalformedSpecsWithActionableMessages)
+{
+    WorkloadSpec wrong_cores;
+    wrong_cores.name = "short";
+    wrong_cores.coreBenchmarks = {"mcf", "lbm"};
+    EXPECT_THROW(validateWorkloadSpec(wrong_cores),
+                 std::invalid_argument);
+
+    BenchmarkProfile profile = benchmarkProfile("mcf");
+    profile.structures[0].weight =
+        -1.0; // negative hotness weight
+    EXPECT_THROW(validateBenchmarkProfile(profile),
+                 std::invalid_argument);
+
+    profile = benchmarkProfile("mcf");
+    profile.structures[0].weight =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(validateBenchmarkProfile(profile),
+                 std::invalid_argument);
+
+    profile = benchmarkProfile("mcf");
+    profile.structures[0].pages = 0; // zero footprint
+    EXPECT_THROW(validateBenchmarkProfile(profile),
+                 std::invalid_argument);
+
+    profile = benchmarkProfile("mcf");
+    profile.structures[0].writeFraction = 1.5;
+    EXPECT_THROW(validateBenchmarkProfile(profile),
+                 std::invalid_argument);
+
+    // The message names the offending structure and field.
+    profile = benchmarkProfile("mcf");
+    profile.structures[0].weight = -2.0;
+    try {
+        validateBenchmarkProfile(profile);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find(profile.structures[0].name),
+                  std::string::npos);
+        EXPECT_NE(message.find("weight"), std::string::npos);
+    }
 }
 
 } // namespace
