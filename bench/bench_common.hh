@@ -19,14 +19,18 @@
 #ifndef RAMP_BENCH_BENCH_COMMON_HH
 #define RAMP_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cctype>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "hma/experiment.hh"
+#include "placement/profile.hh"
 #include "runner/harness.hh"
+#include "telemetry/histogram.hh"
 
 namespace ramp::bench
 {
@@ -39,6 +43,47 @@ using runner::ProfiledWorkloadPtr;
 using runner::RatioColumn;
 using runner::benchMain;
 using runner::meanRatio;
+
+/**
+ * The paper's write-share bucketing: five equal bins over [0, 1]
+ * (0-20%, 21-40%, ...). The epsilon keeps a pure-write page (share
+ * exactly 1.0) in the last bin instead of clamping past it.
+ */
+inline telemetry::FixedHistogram
+writeShareHistogram()
+{
+    return telemetry::FixedHistogram::linear(0.0, 1.0 + 1e-9, 5);
+}
+
+/** Bin every page's write share of accesses into `histogram`. */
+inline void
+addWriteShares(telemetry::FixedHistogram &histogram,
+               const PageProfile &profile)
+{
+    for (const auto &[page, stats] : profile.pages()) {
+        const double total = static_cast<double>(stats.hotness());
+        histogram.add(total == 0 ? 0.0
+                                 : static_cast<double>(stats.writes) /
+                                       total);
+    }
+}
+
+/** Print a write-share histogram as the standard two-column table. */
+inline void
+printWriteShareTable(const telemetry::FixedHistogram &histogram,
+                     const std::string &title)
+{
+    TextTable table({"write share bin", "pages"});
+    for (std::size_t bin = 0; bin < histogram.numBuckets(); ++bin) {
+        table.addRow(
+            {TextTable::percent(histogram.bucketLow(bin), 0) +
+                 " - " +
+                 TextTable::percent(
+                     std::min(1.0, histogram.bucketHigh(bin)), 0),
+             TextTable::num(histogram.bucketCount(bin))});
+    }
+    table.print(std::cout, title);
+}
 
 /** Table cell for a pass that produced no metrics ("FAILED"...). */
 inline std::string

@@ -87,7 +87,16 @@ reportDynamicScheme(DynamicScheme scheme, const std::string &title,
         std::cout << "\naverage IPC loss vs perf-migration: "
                   << ipc_ratios.lossCell()
                   << ", average SER reduction: "
-                  << ser_reductions.averageCell(1) << "\n";
+                  << ser_reductions.averageCell(1) << "\n\n";
+
+        // The write-ratio heuristic's input distribution, merged
+        // over every workload the scheme just ran on.
+        auto write_shares = writeShareHistogram();
+        for (const auto &wl : profiled)
+            addWriteShares(write_shares, wl->profile());
+        printWriteShareTable(write_shares,
+                             "Write-share distribution of the "
+                             "evaluated footprint");
         return harness.finish();
     });
 }

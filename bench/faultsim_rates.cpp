@@ -23,7 +23,6 @@
 #include "reliability/faultsim.hh"
 #include "reliability/ser.hh"
 #include "runner/harness.hh"
-#include "runner/report.hh"
 
 using namespace ramp;
 
@@ -31,9 +30,11 @@ int
 main(int argc, char **argv)
 {
     return runner::benchMain("faultsim_rates", [&] {
-        const auto options =
-            runner::RunnerOptions::parse(argc, argv);
-        runner::ThreadPool pool(options.jobs);
+        // The Harness provides the pool and the telemetry
+        // exporters; the Monte-Carlo campaigns are not SimResult
+        // passes, so the JSON pass report stays empty.
+        runner::Harness harness("faultsim_rates", argc, argv);
+        runner::ThreadPool &pool = harness.pool();
 
         TextTable table({"configuration", "trials", "P(UE)/horizon",
                          "FIT_unc per rank", "FIT_unc per GB"});
@@ -84,6 +85,6 @@ main(int argc, char **argv)
         }
         sweep.print(std::cout,
                     "Ablation: die-stacked density/TSV FIT scaling");
-        return 0;
+        return harness.finish();
     });
 }

@@ -26,8 +26,16 @@ main(int argc, char **argv)
                          "cold&high", "cold&low", "hot&low MB",
                          "footprint MB"});
 
+        // Per-workload write-share partials, merged below into one
+        // footprint-wide view (same layout, so merge() is exact).
+        auto write_shares = writeShareHistogram();
+
         for (const auto &wl :
              harness.profileAll(standardWorkloads())) {
+            auto partial = writeShareHistogram();
+            addWriteShares(partial, wl->profile());
+            write_shares.merge(partial);
+
             const auto quadrants = analyzeQuadrants(wl->profile());
             const double total =
                 static_cast<double>(quadrants.total());
@@ -51,6 +59,10 @@ main(int argc, char **argv)
         table.print(std::cout,
                     "Figure 4: page distribution across hotness-risk "
                     "quadrants (mean splits)");
+        std::cout << "\n";
+        printWriteShareTable(write_shares,
+                             "Write-share context: all standard "
+                             "workloads merged");
         return harness.finish();
     });
 }

@@ -50,24 +50,11 @@ main(int argc, char **argv)
 
         // (b) write-ratio histogram, as write fraction of all
         // accesses, binned 0-20%, 21-40%, ... like the paper.
-        Histogram histogram(0.0, 1.0 + 1e-9, 5);
-        for (const auto &[page, stats] : wl->profile().pages()) {
-            const double writes = static_cast<double>(stats.writes);
-            const double total =
-                static_cast<double>(stats.hotness());
-            histogram.add(total == 0 ? 0.0 : writes / total);
-        }
-        TextTable table({"write share bin", "pages"});
-        for (std::size_t bin = 0; bin < histogram.numBins(); ++bin) {
-            table.addRow(
-                {TextTable::percent(histogram.binLow(bin), 0) +
-                     " - " +
-                     TextTable::percent(
-                         std::min(1.0, histogram.binHigh(bin)), 0),
-                 TextTable::num(histogram.binCount(bin))});
-        }
-        table.print(std::cout,
-                    "Figure 9b: write-ratio histogram of mix1 pages");
+        auto histogram = writeShareHistogram();
+        addWriteShares(histogram, wl->profile());
+        printWriteShareTable(
+            histogram,
+            "Figure 9b: write-ratio histogram of mix1 pages");
         return harness.finish();
     });
 }

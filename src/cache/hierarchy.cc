@@ -1,9 +1,57 @@
 #include "cache/hierarchy.hh"
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ramp
 {
+
+namespace
+{
+
+/** Hot-path hit/miss counters, looked up once per process. */
+struct HierarchyCounters
+{
+    telemetry::Counter &l1dHits =
+        telemetry::metrics().counter("cache.l1d.hits");
+    telemetry::Counter &l1dMisses =
+        telemetry::metrics().counter("cache.l1d.misses");
+    telemetry::Counter &l1iHits =
+        telemetry::metrics().counter("cache.l1i.hits");
+    telemetry::Counter &l1iMisses =
+        telemetry::metrics().counter("cache.l1i.misses");
+    telemetry::Counter &l2Hits =
+        telemetry::metrics().counter("cache.l2.hits");
+    telemetry::Counter &l2Misses =
+        telemetry::metrics().counter("cache.l2.misses");
+};
+
+HierarchyCounters &
+hierarchyCounters()
+{
+    static HierarchyCounters counters;
+    return counters;
+}
+
+/** Record one access outcome into the L1/L2 telemetry counters. */
+void
+countAccess(const CacheHierarchy::Result &result,
+            telemetry::Counter &l1_hits,
+            telemetry::Counter &l1_misses)
+{
+    auto &c = hierarchyCounters();
+    if (result.l1Hit) {
+        l1_hits.add(1);
+        return;
+    }
+    l1_misses.add(1);
+    if (result.l2Hit)
+        c.l2Hits.add(1);
+    else
+        c.l2Misses.add(1);
+}
+
+} // namespace
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
     : config_(config), l2_(config.l2)
@@ -60,7 +108,10 @@ CacheHierarchy::accessData(CoreId core, Addr addr, bool is_write)
 {
     if (core >= l1d_.size())
         ramp_panic("data access from unknown core ", core);
-    return accessThroughL2(l1d_[core], addr, is_write);
+    const Result result = accessThroughL2(l1d_[core], addr, is_write);
+    RAMP_TELEM(countAccess(result, hierarchyCounters().l1dHits,
+                           hierarchyCounters().l1dMisses));
+    return result;
 }
 
 CacheHierarchy::Result
@@ -68,7 +119,10 @@ CacheHierarchy::accessInst(CoreId core, Addr addr)
 {
     if (core >= l1i_.size())
         ramp_panic("inst access from unknown core ", core);
-    return accessThroughL2(l1i_[core], addr, false);
+    const Result result = accessThroughL2(l1i_[core], addr, false);
+    RAMP_TELEM(countAccess(result, hierarchyCounters().l1iHits,
+                           hierarchyCounters().l1iMisses));
+    return result;
 }
 
 std::vector<CacheHierarchy::MemAccess>

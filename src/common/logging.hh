@@ -10,6 +10,7 @@
 #ifndef RAMP_COMMON_LOGGING_HH
 #define RAMP_COMMON_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -38,6 +39,29 @@ formatMessage(Args &&...args)
 
 /** Toggle warn()/inform() output (tests silence it). */
 void setLogQuiet(bool quiet);
+
+/** Severity of one warn()/inform() line handed to the sink. */
+enum class LogLevel
+{
+    Warn,
+    Inform,
+};
+
+/**
+ * Pluggable destination of warn()/inform() lines. Sinks run under
+ * the logging mutex — one warn() is delivered at a time, so lines
+ * never interleave — and must not call warn()/inform() themselves.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/** Replace the sink; an empty function restores the default. */
+void setLogSink(LogSink sink);
+
+/**
+ * The default sink: one serialised "warn:"/"info:" line on stderr
+ * per call. Custom sinks (telemetry capture) typically chain it.
+ */
+void defaultLogSink(LogLevel level, const std::string &msg);
 
 } // namespace ramp
 

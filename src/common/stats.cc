@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -46,13 +47,15 @@ RunningStat::stddev() const
 double
 RunningStat::min() const
 {
-    return count_ == 0 ? 0.0 : min_;
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                       : min_;
 }
 
 double
 RunningStat::max() const
 {
-    return count_ == 0 ? 0.0 : max_;
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                       : max_;
 }
 
 double
@@ -94,39 +97,6 @@ mean(std::span<const double> xs)
     for (const double x : xs)
         sum += x;
     return sum / static_cast<double>(xs.size());
-}
-
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), counts_(bins, 0)
-{
-    if (bins == 0)
-        ramp_fatal("Histogram needs at least one bin");
-    if (hi <= lo)
-        ramp_fatal("Histogram range must be non-empty");
-}
-
-void
-Histogram::add(double x)
-{
-    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-    auto bin = static_cast<std::int64_t>((x - lo_) / width);
-    bin = std::clamp<std::int64_t>(
-        bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(bin)];
-    ++total_;
-}
-
-double
-Histogram::binLow(std::size_t i) const
-{
-    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-    return lo_ + width * static_cast<double>(i);
-}
-
-double
-Histogram::binHigh(std::size_t i) const
-{
-    return binLow(i + 1);
 }
 
 double

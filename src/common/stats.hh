@@ -3,9 +3,10 @@
  * Statistics helpers used by the motivation studies and the harness.
  *
  * The paper's motivation (Figs 4, 6, 9) is built on summary statistics
- * over page populations: means, Pearson correlation between hotness and
- * AVF, and binned histograms of write ratios. These are implemented
- * here once and shared by tests, benches, and the quadrant analysis.
+ * over page populations: means and Pearson correlation between hotness
+ * and AVF, implemented here once and shared by tests, benches, and the
+ * quadrant analysis. Binned distributions (write ratios, hotness) use
+ * the shared telemetry/histogram.hh FixedHistogram type.
  */
 
 #ifndef RAMP_COMMON_STATS_HH
@@ -38,10 +39,14 @@ class RunningStat
     /** Sample standard deviation. */
     double stddev() const;
 
-    /** Smallest observed sample (0 when empty). */
+    /**
+     * Smallest observed sample. NaN when empty: an empty
+     * accumulator has no extrema, and returning 0 would let an
+     * empty-pass metric snapshot masquerade as a real measurement.
+     */
     double min() const;
 
-    /** Largest observed sample (0 when empty). */
+    /** Largest observed sample (NaN when empty; see min()). */
     double max() const;
 
     /** Sum of all samples. */
@@ -67,38 +72,6 @@ double pearsonCorrelation(std::span<const double> xs,
 
 /** Arithmetic mean of a series (0 when empty). */
 double mean(std::span<const double> xs);
-
-/** Fixed-width histogram over [lo, hi) with a given bin count. */
-class Histogram
-{
-  public:
-    /** Build an empty histogram; hi must exceed lo, bins >= 1. */
-    Histogram(double lo, double hi, std::size_t bins);
-
-    /** Add a sample; values outside [lo, hi) clamp to the end bins. */
-    void add(double x);
-
-    /** Count in bin i. */
-    std::uint64_t binCount(std::size_t i) const { return counts_[i]; }
-
-    /** Number of bins. */
-    std::size_t numBins() const { return counts_.size(); }
-
-    /** Total samples added. */
-    std::uint64_t total() const { return total_; }
-
-    /** Inclusive lower edge of bin i. */
-    double binLow(std::size_t i) const;
-
-    /** Exclusive upper edge of bin i. */
-    double binHigh(std::size_t i) const;
-
-  private:
-    double lo_;
-    double hi_;
-    std::vector<std::uint64_t> counts_;
-    std::uint64_t total_ = 0;
-};
 
 /**
  * Geometric mean of a series of positive values.

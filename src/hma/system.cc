@@ -5,9 +5,54 @@
 
 #include "common/logging.hh"
 #include "hma/core_model.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ramp
 {
+
+namespace
+{
+
+/** Telemetry handles of the simulator hot path (one lookup ever). */
+struct SystemTelemetry
+{
+    telemetry::Counter &hbmAccesses =
+        telemetry::metrics().counter("hma.accesses.hbm");
+    telemetry::Counter &ddrAccesses =
+        telemetry::metrics().counter("hma.accesses.ddr");
+    telemetry::Counter &runs =
+        telemetry::metrics().counter("hma.runs");
+    telemetry::Counter &instructions =
+        telemetry::metrics().counter("hma.instructions");
+    telemetry::Counter &boundaries =
+        telemetry::metrics().counter(
+            "migration.interval_boundaries");
+    telemetry::Counter &epochs =
+        telemetry::metrics().counter("migration.epochs");
+    telemetry::Counter &promoted =
+        telemetry::metrics().counter("migration.pages_promoted");
+    telemetry::Counter &demoted =
+        telemetry::metrics().counter("migration.pages_demoted");
+    telemetry::Counter &swaps =
+        telemetry::metrics().counter("migration.swaps");
+    telemetry::HistogramMetric &epochPages =
+        telemetry::metrics().histogram(
+            "migration.epoch_pages",
+            telemetry::FixedHistogram::linear(0, 512, 16));
+    telemetry::HistogramMetric &epochGap =
+        telemetry::metrics().histogram(
+            "migration.epoch_gap_intervals",
+            telemetry::FixedHistogram::linear(0, 32, 16));
+};
+
+SystemTelemetry &
+systemTelemetry()
+{
+    static SystemTelemetry telemetry;
+    return telemetry;
+}
+
+} // namespace
 
 HmaSystem::HmaSystem(const SystemConfig &config)
     : config_(config), hbm_(config.hbm), ddr_(config.ddr)
@@ -138,6 +183,12 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
     if (static_cast<int>(traces.size()) > config_.cores)
         ramp_fatal("more traces than configured cores");
 
+    RAMP_TELEM_SPAN(run_span, "hma.run", "sim",
+                    telemetry::traceArg(
+                        "engine",
+                        engine != nullptr ? engine->name()
+                                          : "static"));
+
     SimResult result;
     AvfTracker avf;
     Residency residency;
@@ -160,6 +211,7 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
 
     Cycle next_boundary =
         engine != nullptr ? engine->interval() : 0;
+    Cycle last_epoch = 0; ///< Previous non-empty decision boundary.
     std::deque<MigOp> transfers;
     auto drain_transfers = [&](Cycle up_to) {
         while (!transfers.empty() && transfers.front().when <= up_to) {
@@ -182,8 +234,25 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
             drain_transfers(next_boundary);
             const auto decision =
                 engine->onInterval(next_boundary, placement);
+            RAMP_TELEM(systemTelemetry().boundaries.add(1));
             if (!decision.empty()) {
                 ++result.migrationEvents;
+                RAMP_TELEM({
+                    auto &tel = systemTelemetry();
+                    tel.epochs.add(1);
+                    tel.promoted.add(decision.promotions.size() +
+                                     decision.swaps.size());
+                    tel.demoted.add(decision.evictions.size() +
+                                    decision.swaps.size());
+                    tel.swaps.add(decision.swaps.size());
+                    tel.epochPages.observe(static_cast<double>(
+                        decision.pagesMoved()));
+                    tel.epochGap.observe(
+                        static_cast<double>(next_boundary -
+                                            last_epoch) /
+                        static_cast<double>(engine->interval()));
+                });
+                last_epoch = next_boundary;
                 applyDecision(placement, decision, next_boundary,
                               residency, transfers);
             }
@@ -215,6 +284,9 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
             ++result.reads;
         if (mem == MemoryId::HBM)
             ++result.hbmAccessFraction; // normalised below
+        RAMP_TELEM(mem == MemoryId::HBM
+                       ? systemTelemetry().hbmAccesses.add(1)
+                       : systemTelemetry().ddrAccesses.add(1));
 
         if (core.retire(req.isWrite ? issue_t : completion))
             pq.push({core.nextIssueTime(), core_idx});
@@ -269,6 +341,11 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
             static_cast<double>(total_reads);
     }
     result.migratedPages = placement.migrations();
+    RAMP_TELEM({
+        auto &tel = systemTelemetry();
+        tel.runs.add(1);
+        tel.instructions.add(result.instructions);
+    });
     return result;
 }
 

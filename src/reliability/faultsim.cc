@@ -6,9 +6,37 @@
 
 #include "common/logging.hh"
 #include "runner/error.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ramp
 {
+
+namespace
+{
+
+/** Per-shard outcome counters (updated once per shard). */
+struct FaultSimTelemetry
+{
+    telemetry::Counter &shards =
+        telemetry::metrics().counter("faultsim.shards");
+    telemetry::Counter &trials =
+        telemetry::metrics().counter("faultsim.trials");
+    telemetry::Counter &faults =
+        telemetry::metrics().counter("faultsim.faults_injected");
+    telemetry::Counter &corrected =
+        telemetry::metrics().counter("faultsim.corrected");
+    telemetry::Counter &uncorrected =
+        telemetry::metrics().counter("faultsim.uncorrected");
+};
+
+FaultSimTelemetry &
+faultSimTelemetry()
+{
+    static FaultSimTelemetry telemetry;
+    return telemetry;
+}
+
+} // namespace
 
 FaultSimConfig
 FaultSimConfig::ddrChipKill()
@@ -109,6 +137,7 @@ FaultSim::drawFault(Rng &rng) const
 FaultSim::ShardCounts
 FaultSim::runShard(std::uint64_t trials, std::uint64_t seed) const
 {
+    RAMP_TELEM_SPAN(shard_span, "faultsim.shard", "reliability");
     Rng rng(seed);
     ShardCounts counts;
 
@@ -137,6 +166,14 @@ FaultSim::runShard(std::uint64_t trials, std::uint64_t seed) const
             break;
         }
     }
+    RAMP_TELEM({
+        auto &tel = faultSimTelemetry();
+        tel.shards.add(1);
+        tel.trials.add(trials);
+        tel.faults.add(counts.faults);
+        tel.corrected.add(counts.corrected);
+        tel.uncorrected.add(counts.uncorrected);
+    });
     return counts;
 }
 
@@ -144,6 +181,10 @@ FaultSimResult
 FaultSim::run(std::uint64_t trials, std::uint64_t seed,
               runner::ThreadPool *pool) const
 {
+    RAMP_TELEM_SPAN(campaign_span, "faultsim.campaign",
+                    "reliability",
+                    telemetry::traceArg("config", config_.name));
+
     // The campaign is embarrassingly parallel: fixed-size shards
     // with SplitMix64-derived seeds make the outcome a pure
     // function of (trials, seed) regardless of thread count.

@@ -5,11 +5,89 @@
 #include <iostream>
 #include <optional>
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ramp::runner
 {
+
+namespace
+{
+
+/** Hit fraction of a hits/misses counter pair (0 when idle). */
+double
+hitRate(std::uint64_t hits, std::uint64_t misses)
+{
+    const std::uint64_t total = hits + misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(hits) /
+                     static_cast<double>(total);
+}
+
+/**
+ * Render the --metrics-out document: the merged registry snapshot
+ * plus derived hit-rates and the per-pass status/duration list.
+ */
+std::string
+metricsJson(const std::string &tool, unsigned jobs,
+            const std::vector<PassRecord> &passes)
+{
+    const auto snap = telemetry::metrics().snapshot();
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"tool\": \"" << telemetry::jsonEscape(tool)
+        << "\",\n"
+        << "  \"jobs\": " << jobs << ",\n"
+        << "  \"derived\": {\n"
+        << "    \"l1d_hit_rate\": "
+        << telemetry::jsonNumber(
+               hitRate(snap.counterOr("cache.l1d.hits"),
+                       snap.counterOr("cache.l1d.misses")))
+        << ",\n"
+        << "    \"l1i_hit_rate\": "
+        << telemetry::jsonNumber(
+               hitRate(snap.counterOr("cache.l1i.hits"),
+                       snap.counterOr("cache.l1i.misses")))
+        << ",\n"
+        << "    \"l2_hit_rate\": "
+        << telemetry::jsonNumber(
+               hitRate(snap.counterOr("cache.l2.hits"),
+                       snap.counterOr("cache.l2.misses")))
+        << ",\n"
+        << "    \"hbm_access_share\": "
+        << telemetry::jsonNumber(
+               hitRate(snap.counterOr("hma.accesses.hbm"),
+                       snap.counterOr("hma.accesses.ddr")))
+        << ",\n"
+        << "    \"profile_cache_hit_rate\": "
+        << telemetry::jsonNumber(hitRate(
+               snap.counterOr("profile_cache.memory_hits") +
+                   snap.counterOr("profile_cache.disk_hits"),
+               snap.counterOr("profile_cache.misses")))
+        << "\n"
+        << "  },\n"
+        << "  \"metrics\": " << snap.toJson(2) << ",\n"
+        << "  \"passes\": [\n";
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+        const auto &pass = passes[i];
+        out << "    {\"workload\": \""
+            << telemetry::jsonEscape(pass.workload)
+            << "\", \"label\": \""
+            << telemetry::jsonEscape(pass.result.label)
+            << "\", \"status\": \"" << passStatusName(pass.status)
+            << "\", \"seconds\": "
+            << telemetry::jsonNumber(pass.seconds) << "}"
+            << (i + 1 < passes.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+} // namespace
 
 Harness::Harness(std::string tool, int argc, char **argv)
     : Harness(std::move(tool), RunnerOptions::parse(argc, argv))
@@ -24,6 +102,11 @@ Harness::Harness(std::string tool, RunnerOptions options)
       report_(tool_)
 {
     validateSystemConfig(config_);
+    if (!options_.metricsPath.empty() ||
+        !options_.tracePath.empty()) {
+        telemetry::setEnabled(true);
+        telemetry::captureLogEvents();
+    }
     if (!options_.cacheDir.empty())
         cache_.setDiskDir(options_.cacheDir);
     if (!options_.checkpointDir.empty())
@@ -100,6 +183,9 @@ Harness::runPassesImpl(const std::vector<PassDesc> &descs,
         const PassDesc &desc = descs[index];
         PassOutcome &out = outcomes[index];
 
+        RAMP_TELEM_SPAN(
+            pass_span, "pass", "runner",
+            telemetry::traceArg("workload", desc.workload));
         std::optional<Watchdog::Scope> scope;
         if (watchdog_ != nullptr)
             scope.emplace(watchdog_->watch(desc.key));
@@ -128,6 +214,7 @@ Harness::runPassesImpl(const std::vector<PassDesc> &descs,
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        out.seconds = elapsed;
 
         if (out.status == PassStatus::Ok &&
             cancellationRequested()) {
@@ -163,10 +250,11 @@ Harness::runPassesImpl(const std::vector<PassDesc> &descs,
             out.message = "campaign cancelled before this pass ran";
         }
         if (out.status == PassStatus::Ok)
-            report_.add(descs[i].workload, out.result);
+            report_.add(descs[i].workload, out.result, out.seconds);
         else
             report_.add(descs[i].workload, out.result, out.status,
-                        passErrorCodeName(out.error), out.message);
+                        passErrorCodeName(out.error), out.message,
+                        out.seconds);
     }
 
     if (cancellationRequested()) {
@@ -209,6 +297,22 @@ Harness::finish()
                            cache_.stats())) {
         std::fprintf(stderr, "%s: cannot write JSON report to %s\n",
                      tool_.c_str(), options_.jsonPath.c_str());
+        code = 1;
+    }
+    if (!options_.metricsPath.empty() &&
+        !atomicWriteFile(options_.metricsPath,
+                         metricsJson(tool_, pool_.jobs(),
+                                     report_.passes()))) {
+        std::fprintf(stderr,
+                     "%s: cannot write metrics snapshot to %s\n",
+                     tool_.c_str(), options_.metricsPath.c_str());
+        code = 1;
+    }
+    if (!options_.tracePath.empty() &&
+        !atomicWriteFile(options_.tracePath,
+                         telemetry::traceJson())) {
+        std::fprintf(stderr, "%s: cannot write trace to %s\n",
+                     tool_.c_str(), options_.tracePath.c_str());
         code = 1;
     }
     return code;

@@ -3,9 +3,10 @@
  * The experiment harness every figure/table binary runs on.
  *
  * One Harness per binary: it parses the shared runner flags
- * (--jobs, --json, --cache-dir, --checkpoint, --pass-timeout), owns
- * the thread pool, the profile cache, the checkpoint journal, the
- * watchdog, and the result sink, and provides the operations the
+ * (--jobs, --json, --metrics-out, --trace-out, --cache-dir,
+ * --checkpoint, --pass-timeout), owns the thread pool, the profile
+ * cache, the checkpoint journal, the watchdog, and the result sink,
+ * and provides the operations the
  * paper's methodology repeats everywhere — profile a workload set
  * (cached, parallel) and fan policy passes out over it (parallel,
  * deterministic, recorded, fault-contained).
@@ -68,6 +69,9 @@ struct PassOutcome
 
     /** Replayed from the checkpoint journal (not recomputed). */
     bool fromCheckpoint = false;
+
+    /** Wall-clock duration of the pass (0 when replayed). */
+    double seconds = 0;
 
     /** True when `result` holds usable metrics (Ok or Timeout). */
     bool ok() const
@@ -161,11 +165,12 @@ class Harness
                      const SimResult &result);
 
     /**
-     * Finish the run: write the JSON report when requested (atomic
-     * tmp+rename) and print a failure summary to stderr when any
-     * pass is not Ok. Exit code: 0 on full success, 1 when the
-     * report cannot be written, 3 when any pass failed or timed
-     * out.
+     * Finish the run: write the JSON report, telemetry metrics
+     * snapshot (--metrics-out), and Chrome trace (--trace-out)
+     * when requested (each atomic tmp+rename) and print a failure
+     * summary to stderr when any pass is not Ok. Exit code: 0 on
+     * full success, 1 when any output file cannot be written, 3
+     * when any pass failed or timed out.
      */
     int finish();
 

@@ -1,11 +1,59 @@
 #include "runner/pool.hh"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "runner/error.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ramp::runner
 {
+
+namespace
+{
+
+/** Task lifetime metrics shared by every pool of the process. */
+struct PoolTelemetry
+{
+    telemetry::Counter &tasks =
+        telemetry::metrics().counter("pool.tasks");
+    telemetry::HistogramMetric &taskSeconds =
+        telemetry::metrics().histogram(
+            "pool.task_seconds",
+            telemetry::FixedHistogram(
+                {0.0, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0}));
+};
+
+PoolTelemetry &
+poolTelemetry()
+{
+    static PoolTelemetry telemetry;
+    return telemetry;
+}
+
+/** Run one task index, wrapped in a span and lifetime histogram. */
+void
+runInstrumented(const std::function<void(std::size_t)> &task,
+                std::size_t index)
+{
+#ifndef RAMP_TELEMETRY_DISABLED
+    if (telemetry::enabled()) {
+        auto &tel = poolTelemetry();
+        tel.tasks.add(1);
+        telemetry::ScopedSpan span("pool.task", "runner");
+        const auto start = std::chrono::steady_clock::now();
+        task(index);
+        tel.taskSeconds.observe(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        return;
+    }
+#endif
+    task(index);
+}
+
+} // namespace
 
 std::uint64_t
 taskSeed(std::uint64_t campaign_seed, std::uint64_t task_index)
@@ -60,7 +108,7 @@ ThreadPool::runTask(const std::function<void(std::size_t)> &task,
     lock.unlock();
     std::exception_ptr error;
     try {
-        task(index);
+        runInstrumented(task, index);
     } catch (...) {
         error = std::current_exception();
     }
@@ -85,7 +133,7 @@ ThreadPool::runIndexed(std::size_t count,
         for (std::size_t i = 0; i < count; ++i) {
             if (cancellationRequested())
                 break;
-            task(i);
+            runInstrumented(task, i);
         }
         return;
     }

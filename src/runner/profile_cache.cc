@@ -10,12 +10,35 @@
 #include "common/logging.hh"
 #include "runner/checkpoint.hh"
 #include "runner/codec.hh"
+#include "telemetry/telemetry.hh"
 
 namespace ramp::runner
 {
 
 namespace
 {
+
+/** Mirror of ProfileCacheStats in the telemetry registry. */
+struct CacheTelemetry
+{
+    telemetry::Counter &memoryHits =
+        telemetry::metrics().counter("profile_cache.memory_hits");
+    telemetry::Counter &diskHits =
+        telemetry::metrics().counter("profile_cache.disk_hits");
+    telemetry::Counter &misses =
+        telemetry::metrics().counter("profile_cache.misses");
+    telemetry::Counter &diskWrites =
+        telemetry::metrics().counter("profile_cache.disk_writes");
+    telemetry::Counter &quarantined =
+        telemetry::metrics().counter("profile_cache.quarantined");
+};
+
+CacheTelemetry &
+cacheTelemetry()
+{
+    static CacheTelemetry telemetry;
+    return telemetry;
+}
 
 // Version 2 appends a trailing FNV-1a checksum of the payload.
 constexpr char diskMagic[8] = {'R', 'A', 'M', 'P',
@@ -159,6 +182,8 @@ ProfileCache::compute(const SystemConfig &config,
                       const GeneratorOptions &options,
                       const std::string &key)
 {
+    RAMP_TELEM_SPAN(compute_span, "profile.compute", "runner",
+                    telemetry::traceArg("workload", spec.name));
     auto profiled = std::make_shared<ProfiledWorkload>();
     profiled->data = prepareWorkload(spec, options);
     profiled->fingerprint = key;
@@ -179,6 +204,7 @@ ProfileCache::compute(const SystemConfig &config,
             if (deserializeBaseline(bytes, key, profiled->base)) {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.diskHits;
+                RAMP_TELEM(cacheTelemetry().diskHits.add(1));
                 return profiled;
             }
             // Never trust a damaged entry: move it aside so it can
@@ -191,6 +217,7 @@ ProfileCache::compute(const SystemConfig &config,
                       ".corrupt and recomputing");
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.quarantined;
+            RAMP_TELEM(cacheTelemetry().quarantined.add(1));
         }
     }
 
@@ -198,6 +225,7 @@ ProfileCache::compute(const SystemConfig &config,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;
+        RAMP_TELEM(cacheTelemetry().misses.add(1));
     }
 
     if (!disk_path.empty()) {
@@ -211,6 +239,7 @@ ProfileCache::compute(const SystemConfig &config,
                 &error)) {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.diskWrites;
+            RAMP_TELEM(cacheTelemetry().diskWrites.add(1));
         } else {
             ramp_warn("profile cache write failed: ", error);
         }
@@ -234,6 +263,7 @@ ProfileCache::get(const SystemConfig &config,
         if (it != entries_.end()) {
             future = it->second;
             ++stats_.memoryHits;
+            RAMP_TELEM(cacheTelemetry().memoryHits.add(1));
         } else {
             future = promise.get_future().share();
             entries_.emplace(key, future);

@@ -65,6 +65,10 @@ RunnerOptions::parse(int argc, char **argv)
     RunnerOptions options;
     if (const char *env = std::getenv("RAMP_JSON"))
         options.jsonPath = env;
+    if (const char *env = std::getenv("RAMP_METRICS_OUT"))
+        options.metricsPath = env;
+    if (const char *env = std::getenv("RAMP_TRACE_OUT"))
+        options.tracePath = env;
     if (const char *env = std::getenv("RAMP_CACHE_DIR"))
         options.cacheDir = env;
     if (const char *env = std::getenv("RAMP_CHECKPOINT"))
@@ -96,6 +100,10 @@ RunnerOptions::parse(int argc, char **argv)
             options.jobs = static_cast<unsigned>(parsed);
         } else if (arg == "--json") {
             options.jsonPath = value("--json");
+        } else if (arg == "--metrics-out") {
+            options.metricsPath = value("--metrics-out");
+        } else if (arg == "--trace-out") {
+            options.tracePath = value("--trace-out");
         } else if (arg == "--cache-dir") {
             options.cacheDir = value("--cache-dir");
         } else if (arg == "--checkpoint") {
@@ -117,6 +125,10 @@ RunnerOptions::flagsHelp()
            "(default: all cores; env RAMP_JOBS)\n"
            "  --json PATH     write machine-readable results "
            "(env RAMP_JSON)\n"
+           "  --metrics-out PATH  write a telemetry metrics "
+           "snapshot (env RAMP_METRICS_OUT)\n"
+           "  --trace-out PATH  write a Chrome trace-event file "
+           "(env RAMP_TRACE_OUT)\n"
            "  --cache-dir D   persist profiling passes on disk "
            "(env RAMP_CACHE_DIR)\n"
            "  --checkpoint D  journal completed passes; resume a "
@@ -131,22 +143,25 @@ Report::Report(std::string tool)
 }
 
 void
-Report::add(const std::string &workload, const SimResult &result)
+Report::add(const std::string &workload, const SimResult &result,
+            double seconds)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     PassRecord record;
     record.workload = workload;
     record.result = result;
+    record.seconds = seconds;
     passes_.push_back(std::move(record));
 }
 
 void
 Report::add(const std::string &workload, const SimResult &result,
             PassStatus status, const std::string &error,
-            const std::string &message)
+            const std::string &message, double seconds)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    passes_.push_back({workload, result, status, error, message});
+    passes_.push_back(
+        {workload, result, status, error, message, seconds});
 }
 
 std::vector<PassRecord>

@@ -70,6 +70,12 @@ struct RunnerOptions
     /** JSON report target ("" = no JSON). */
     std::string jsonPath;
 
+    /** Telemetry metrics-snapshot target ("" = no metrics file). */
+    std::string metricsPath;
+
+    /** Chrome trace-event target ("" = no trace file). */
+    std::string tracePath;
+
     /** On-disk profile-cache directory ("" = memory-only). */
     std::string cacheDir;
 
@@ -83,9 +89,10 @@ struct RunnerOptions
     std::vector<std::string> positional;
 
     /**
-     * Parse --jobs N, --json PATH, --cache-dir PATH, --checkpoint
-     * DIR, and --pass-timeout S from argv (with RAMP_JOBS /
-     * RAMP_JSON / RAMP_CACHE_DIR / RAMP_CHECKPOINT /
+     * Parse --jobs N, --json PATH, --metrics-out PATH, --trace-out
+     * PATH, --cache-dir PATH, --checkpoint DIR, and --pass-timeout
+     * S from argv (with RAMP_JOBS / RAMP_JSON / RAMP_METRICS_OUT /
+     * RAMP_TRACE_OUT / RAMP_CACHE_DIR / RAMP_CHECKPOINT /
      * RAMP_PASS_TIMEOUT environment fallbacks); everything else
      * lands in positional. Throws PassError(Usage) on a malformed
      * flag — the binary decides the exit code.
@@ -110,6 +117,9 @@ struct PassRecord
 
     /** Human-readable failure description when not Ok. */
     std::string message;
+
+    /** Wall-clock duration of the pass (0 = not measured). */
+    double seconds = 0;
 };
 
 /** Thread-safe collector of pass results; writes the JSON view. */
@@ -120,12 +130,13 @@ class Report
     explicit Report(std::string tool);
 
     /** Record one pass (label taken from result.label). */
-    void add(const std::string &workload, const SimResult &result);
+    void add(const std::string &workload, const SimResult &result,
+             double seconds = 0);
 
     /** Record one pass with an explicit terminal status. */
     void add(const std::string &workload, const SimResult &result,
              PassStatus status, const std::string &error,
-             const std::string &message);
+             const std::string &message, double seconds = 0);
 
     /** Recorded passes, in recording order. */
     std::vector<PassRecord> passes() const;

@@ -1,0 +1,76 @@
+#include "telemetry/histogram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ramp::telemetry
+{
+
+FixedHistogram::FixedHistogram(std::vector<double> edges)
+    : edges_(std::move(edges))
+{
+    if (edges_.size() < 2)
+        ramp_fatal("FixedHistogram needs at least two edges");
+    for (std::size_t i = 1; i < edges_.size(); ++i)
+        if (!(edges_[i] > edges_[i - 1]))
+            ramp_fatal("FixedHistogram edges must be strictly "
+                       "increasing");
+    counts_.assign(edges_.size() - 1, 0);
+}
+
+FixedHistogram
+FixedHistogram::linear(double lo, double hi, std::size_t bins)
+{
+    if (bins == 0)
+        ramp_fatal("FixedHistogram needs at least one bucket");
+    if (!(hi > lo))
+        ramp_fatal("FixedHistogram range must be non-empty");
+    std::vector<double> edges;
+    edges.reserve(bins + 1);
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (std::size_t i = 0; i < bins; ++i)
+        edges.push_back(lo + width * static_cast<double>(i));
+    edges.push_back(hi); // Exact upper edge, no rounding drift.
+    return FixedHistogram(std::move(edges));
+}
+
+std::size_t
+FixedHistogram::bucketOf(double x) const
+{
+    // First edge greater than x starts the next bucket; clamp the
+    // out-of-range tails onto the end buckets.
+    const auto it =
+        std::upper_bound(edges_.begin(), edges_.end(), x);
+    const auto idx = it - edges_.begin();
+    if (idx <= 0)
+        return 0;
+    return std::min<std::size_t>(static_cast<std::size_t>(idx - 1),
+                                 counts_.size() - 1);
+}
+
+void
+FixedHistogram::add(double x, std::uint64_t count)
+{
+    counts_[bucketOf(x)] += count;
+    total_ += count;
+}
+
+void
+FixedHistogram::merge(const FixedHistogram &other)
+{
+    if (!sameLayout(other))
+        ramp_panic("FixedHistogram::merge: bucket layouts differ");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+void
+FixedHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+} // namespace ramp::telemetry

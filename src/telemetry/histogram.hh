@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-bucket histogram shared by the telemetry registry and the
+ * bench binaries.
+ *
+ * One value type covers both uses: the registry wraps it with
+ * sharded atomic bins for hot-path observation, and the figure
+ * binaries bin page populations (write ratios, hotness shares) with
+ * it directly instead of hand-rolling bucket arithmetic. Buckets
+ * are defined by an explicit edge vector (edges[i], edges[i+1]) —
+ * linear() builds the common equal-width layout — and samples
+ * outside the range clamp to the end buckets, matching the
+ * convention the paper's write-ratio figures use.
+ */
+
+#ifndef RAMP_TELEMETRY_HISTOGRAM_HH
+#define RAMP_TELEMETRY_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ramp::telemetry
+{
+
+/** Value-type fixed-bucket histogram (bucket i is [edge i, edge i+1)). */
+class FixedHistogram
+{
+  public:
+    /** Build from explicit, strictly increasing edges (>= 2). */
+    explicit FixedHistogram(std::vector<double> edges);
+
+    /** Equal-width layout over [lo, hi) with `bins` buckets. */
+    static FixedHistogram linear(double lo, double hi,
+                                 std::size_t bins);
+
+    /** Add a sample; out-of-range values clamp to the end buckets. */
+    void add(double x, std::uint64_t count = 1);
+
+    /** Bucket index a sample falls into (clamped). */
+    std::size_t bucketOf(double x) const;
+
+    /** Count in bucket i. */
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return counts_[i];
+    }
+
+    /** Number of buckets (edges() - 1). */
+    std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Total samples added. */
+    std::uint64_t total() const { return total_; }
+
+    /** Inclusive lower edge of bucket i. */
+    double bucketLow(std::size_t i) const { return edges_[i]; }
+
+    /** Exclusive upper edge of bucket i. */
+    double bucketHigh(std::size_t i) const { return edges_[i + 1]; }
+
+    /** The edge vector (numBuckets() + 1 entries). */
+    const std::vector<double> &edges() const { return edges_; }
+
+    /** Raw bucket counts, in bucket order. */
+    const std::vector<std::uint64_t> &counts() const
+    {
+        return counts_;
+    }
+
+    /**
+     * Fold another histogram's counts into this one. The layouts
+     * must match exactly (panics otherwise): merge is for shards
+     * and per-workload partials of one metric, not unit conversion.
+     */
+    void merge(const FixedHistogram &other);
+
+    /** True when the bucket edges are identical. */
+    bool sameLayout(const FixedHistogram &other) const
+    {
+        return edges_ == other.edges_;
+    }
+
+    /** Zero every bucket. */
+    void reset();
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace ramp::telemetry
+
+#endif // RAMP_TELEMETRY_HISTOGRAM_HH

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Unit tests for the telemetry subsystem (src/telemetry): sharded
+ * counter exactness under threads, fixed-bucket histogram
+ * semantics, snapshot determinism under the pool, and trace-event
+ * JSON well-formedness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "reliability/faultsim.hh"
+#include "runner/pool.hh"
+#include "telemetry/telemetry.hh"
+
+namespace ramp::telemetry
+{
+namespace
+{
+
+/** Fresh telemetry state (enabled) for each test body. */
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        resetAll();
+        setEnabled(true);
+    }
+
+    void TearDown() override
+    {
+        setEnabled(false);
+        resetAll();
+    }
+};
+
+TEST_F(TelemetryTest, ConcurrentCounterIncrementsSumExactly)
+{
+    Counter &counter = metrics().counter("test.concurrent");
+    constexpr int threads = 8;
+    constexpr std::uint64_t perThread = 10000;
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t)
+        workers.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < perThread; ++i)
+                counter.add(1);
+        });
+    for (auto &worker : workers)
+        worker.join();
+
+    EXPECT_EQ(counter.total(), threads * perThread);
+}
+
+TEST_F(TelemetryTest, CounterAddHonoursWeight)
+{
+    Counter &counter = metrics().counter("test.weighted");
+    counter.add(3);
+    counter.add(4);
+    EXPECT_EQ(counter.total(), 7u);
+    counter.reset();
+    EXPECT_EQ(counter.total(), 0u);
+}
+
+TEST(FixedHistogram, BucketBoundaries)
+{
+    auto hist = FixedHistogram::linear(0.0, 10.0, 5);
+    ASSERT_EQ(hist.numBuckets(), 5u);
+    // Buckets are [lo, hi): a value on an interior edge lands in
+    // the bucket it opens.
+    EXPECT_EQ(hist.bucketOf(0.0), 0u);
+    EXPECT_EQ(hist.bucketOf(1.99), 0u);
+    EXPECT_EQ(hist.bucketOf(2.0), 1u);
+    EXPECT_EQ(hist.bucketOf(9.99), 4u);
+    EXPECT_DOUBLE_EQ(hist.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.bucketHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(hist.bucketLow(4), 8.0);
+    EXPECT_DOUBLE_EQ(hist.bucketHigh(4), 10.0);
+}
+
+TEST(FixedHistogram, ClampsOutOfRange)
+{
+    auto hist = FixedHistogram::linear(0.0, 10.0, 5);
+    hist.add(-100.0);
+    hist.add(100.0);
+    hist.add(10.0); // the exclusive upper edge clamps down too
+    EXPECT_EQ(hist.bucketCount(0), 1u);
+    EXPECT_EQ(hist.bucketCount(4), 2u);
+    EXPECT_EQ(hist.total(), 3u);
+}
+
+TEST(FixedHistogram, ExplicitEdgesAndCounts)
+{
+    FixedHistogram hist({0.0, 1.0, 10.0, 100.0});
+    hist.add(0.5);
+    hist.add(5.0, 3);
+    hist.add(50.0);
+    EXPECT_EQ(hist.bucketCount(0), 1u);
+    EXPECT_EQ(hist.bucketCount(1), 3u);
+    EXPECT_EQ(hist.bucketCount(2), 1u);
+    EXPECT_EQ(hist.total(), 5u);
+}
+
+TEST(FixedHistogram, MergeAddsCountsOfSameLayout)
+{
+    auto a = FixedHistogram::linear(0.0, 1.0, 4);
+    auto b = FixedHistogram::linear(0.0, 1.0, 4);
+    a.add(0.1);
+    b.add(0.1);
+    b.add(0.9, 2);
+    a.merge(b);
+    EXPECT_EQ(a.bucketCount(0), 2u);
+    EXPECT_EQ(a.bucketCount(3), 2u);
+    EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(FixedHistogramDeath, MergeRejectsLayoutMismatch)
+{
+    auto a = FixedHistogram::linear(0.0, 1.0, 4);
+    auto b = FixedHistogram::linear(0.0, 2.0, 4);
+    EXPECT_FALSE(a.sameLayout(b));
+    EXPECT_DEATH(a.merge(b), "layout");
+}
+
+TEST_F(TelemetryTest, HistogramMetricObservesAcrossThreads)
+{
+    auto &metric = metrics().histogram(
+        "test.hist", FixedHistogram::linear(0.0, 4.0, 4));
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t)
+        workers.emplace_back([&metric, t] {
+            for (int i = 0; i < 100; ++i)
+                metric.observe(static_cast<double>(t) + 0.5);
+        });
+    for (auto &worker : workers)
+        worker.join();
+
+    const auto snap = metric.snapshot();
+    for (std::size_t bucket = 0; bucket < 4; ++bucket)
+        EXPECT_EQ(snap.bucketCount(bucket), 100u);
+    EXPECT_EQ(snap.total(), 400u);
+}
+
+TEST_F(TelemetryTest, SnapshotIsDeterministicUnderThePool)
+{
+    // The same work fanned out over differently-sized pools must
+    // merge to identical totals: every mutation is an unconditional
+    // sharded add, so scheduling cannot change the sums.
+    auto run = [](unsigned jobs) {
+        metrics().resetValues();
+        Counter &items = metrics().counter("test.pool.items");
+        auto &weights = metrics().histogram(
+            "test.pool.weights",
+            FixedHistogram::linear(0.0, 64.0, 8));
+        runner::ThreadPool pool(jobs);
+        pool.runIndexed(64, [&](std::size_t i) {
+            items.add(i);
+            weights.observe(static_cast<double>(i));
+        });
+        const auto snap = metrics().snapshot();
+        std::pair<std::uint64_t, std::vector<std::uint64_t>> out;
+        out.first = snap.counterOr("test.pool.items");
+        out.second =
+            snap.histograms.at("test.pool.weights").counts();
+        return out;
+    };
+
+    const auto serial = run(1);
+    const auto parallel = run(4);
+    EXPECT_EQ(serial.first, 64u * 63u / 2u);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(TelemetryTest, DisabledSitesRecordNothing)
+{
+    setEnabled(false);
+    Counter &counter = metrics().counter("test.disabled");
+    RAMP_TELEM(counter.add(1));
+    {
+        RAMP_TELEM_SPAN(span, "test.span", "test");
+    }
+    instant("test.instant", "test");
+    EXPECT_EQ(counter.total(), 0u);
+    EXPECT_TRUE(collectEvents().empty());
+}
+
+TEST_F(TelemetryTest, SnapshotJsonHasAllSections)
+{
+    metrics().counter("test.json.counter").add(2);
+    metrics().gauge("test.json.gauge").set(1.5);
+    metrics()
+        .histogram("test.json.hist",
+                   FixedHistogram::linear(0.0, 1.0, 2))
+        .observe(0.25);
+    const std::string json = metrics().snapshot().toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.counter\": 2"),
+              std::string::npos);
+}
+
+/**
+ * Minimal JSON well-formedness scanner: validates balanced
+ * braces/brackets outside strings and legal escape sequences. Not a
+ * full parser, but enough to catch the classic emitter bugs
+ * (trailing commas are additionally checked below).
+ */
+bool
+jsonBalanced(const std::string &text)
+{
+    std::vector<char> stack;
+    bool in_string = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"': in_string = true; break;
+          case '{': stack.push_back('}'); break;
+          case '[': stack.push_back(']'); break;
+          case '}':
+          case ']':
+            if (stack.empty() || stack.back() != c)
+                return false;
+            stack.pop_back();
+            break;
+          default: break;
+        }
+    }
+    return stack.empty() && !in_string;
+}
+
+TEST_F(TelemetryTest, TraceJsonIsWellFormedWithNestedSpans)
+{
+    {
+        RAMP_TELEM_SPAN(outer, "outer", "test",
+                        traceArg("key", "value \"quoted\"\n"));
+        {
+            RAMP_TELEM_SPAN(inner, "inner", "test");
+        }
+        instant("marker", "test");
+    }
+
+    const std::string json = traceJson();
+    EXPECT_TRUE(jsonBalanced(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(json.find(",]"), std::string::npos);
+    EXPECT_EQ(json.find(",}"), std::string::npos);
+
+    // Spans are well-nested per thread by construction: walking
+    // this thread's events, every E closes the latest open B.
+    std::vector<std::string> open;
+    for (const auto &event : collectEvents()) {
+        if (event.phase == 'B') {
+            open.push_back(event.name);
+        } else if (event.phase == 'E') {
+            ASSERT_FALSE(open.empty());
+            open.pop_back();
+        }
+    }
+    EXPECT_TRUE(open.empty());
+}
+
+TEST_F(TelemetryTest, SpanOrderIsBeginInnerEnd)
+{
+    {
+        RAMP_TELEM_SPAN(outer, "outer", "test");
+        RAMP_TELEM_SPAN(inner, "inner", "test");
+    }
+    const auto events = collectEvents();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].phase, 'B');
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].phase, 'B');
+    // Destruction order is inverse construction order.
+    EXPECT_EQ(events[2].name, "inner");
+    EXPECT_EQ(events[2].phase, 'E');
+    EXPECT_EQ(events[3].name, "outer");
+    EXPECT_EQ(events[3].phase, 'E');
+    EXPECT_LE(events[0].tsMicros, events[3].tsMicros);
+}
+
+TEST_F(TelemetryTest, FaultSimShardsEmitSpansAndCounters)
+{
+    FaultSim sim(FaultSimConfig::hbmSecDed());
+    sim.run(2000, 42);
+
+    const auto snap = metrics().snapshot();
+    EXPECT_EQ(snap.counterOr("faultsim.trials"), 2000u);
+    EXPECT_GE(snap.counterOr("faultsim.shards"), 1u);
+
+    bool campaign_span = false, shard_span = false;
+    for (const auto &event : collectEvents()) {
+        if (event.phase != 'B')
+            continue;
+        campaign_span |= event.name == "faultsim.campaign";
+        shard_span |= event.name == "faultsim.shard";
+    }
+    EXPECT_TRUE(campaign_span);
+    EXPECT_TRUE(shard_span);
+}
+
+TEST_F(TelemetryTest, LogCaptureEmitsInstantEvents)
+{
+    captureLogEvents();
+    ramp_warn("telemetry capture probe");
+
+    bool saw = false;
+    for (const auto &event : collectEvents())
+        if (event.phase == 'i' && event.cat == "log" &&
+            event.argsJson.find("telemetry capture probe") !=
+                std::string::npos)
+            saw = true;
+    EXPECT_TRUE(saw);
+}
+
+TEST(TelemetryRegistryDeath, HistogramRelayoutPanics)
+{
+    metrics().histogram("test.relayout",
+                        FixedHistogram::linear(0.0, 1.0, 2));
+    EXPECT_DEATH(metrics().histogram(
+                     "test.relayout",
+                     FixedHistogram::linear(0.0, 2.0, 2)),
+                 "layout");
+}
+
+} // namespace
+} // namespace ramp::telemetry
