@@ -28,6 +28,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "hma/experiment.hh"
+#include "perf/microbench.hh"
 #include "placement/profile.hh"
 #include "runner/harness.hh"
 #include "telemetry/histogram.hh"
@@ -94,6 +95,39 @@ statusCell(const PassOutcome &outcome)
         c = static_cast<char>(
             std::toupper(static_cast<unsigned char>(c)));
     return name;
+}
+
+/** Print microbenchmark rows as the standard table. */
+inline void
+printMicrobenchTable(const std::vector<perf::BenchResult> &rows,
+                     const std::string &title)
+{
+    TextTable table({"benchmark", "unit", "mean", "stddev",
+                     "ci95", "min", "items/s"});
+    for (const auto &r : rows) {
+        table.addRow(
+            {r.name, r.unit, TextTable::num(r.meanSeconds * 1e3, 3),
+             TextTable::num(r.stddevSeconds * 1e3, 3),
+             TextTable::num(r.ci95Seconds * 1e3, 3),
+             TextTable::num(r.minSeconds * 1e3, 3),
+             TextTable::num(r.itemsPerSecond, 0)});
+    }
+    table.print(std::cout, title + " (times in ms)");
+}
+
+/**
+ * Run a microbenchmark suite under the harness: positional
+ * arguments select cases (all when none given), results print as a
+ * table and fold into the --bench-out document.
+ */
+inline std::vector<perf::BenchResult>
+runMicrobenchSuite(Harness &harness, const perf::Microbench &suite,
+                   const perf::BenchOptions &options = {})
+{
+    const auto results =
+        suite.run(options, harness.options().positional);
+    harness.addMicrobenchResults(results);
+    return results;
 }
 
 } // namespace ramp::bench

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The self-profiling microbenchmark suite of the simulator's hot
+ * kernels (src/perf framework — warmup detection, repeated timed
+ * iterations, min-of-N reporting).
+ *
+ * Covers every inner loop the figure binaries spend their time in:
+ * trace generation, the cache hierarchy, the full HmaSystem access
+ * path, migration-epoch processing, FaultSim trial batches, and
+ * thread-pool dispatch overhead. Run with --bench-out to emit the
+ * BENCH_perf_suite.json document that bench_diff gates regressions
+ * against (the committed baseline lives at the repo root); name one
+ * or more cases as positional arguments to run a subset.
+ */
+
+#include <atomic>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "reliability/faultsim.hh"
+#include "runner/pool.hh"
+#include "trace/generator.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+namespace
+{
+
+/** Register the suite over workload data prepared once. */
+perf::Microbench
+buildSuite(const SystemConfig &config, const WorkloadData &data)
+{
+    perf::Microbench suite;
+
+    suite.add("trace_generation", "requests", [] {
+        GeneratorOptions options;
+        options.traceScale = 0.05;
+        const auto traces =
+            generateTraces(homogeneousWorkload("mcf"), options);
+        return computeStats(traces).requests;
+    });
+
+    suite.add("cache_hierarchy", "accesses", [] {
+        CacheHierarchy hierarchy(HierarchyConfig{});
+        Rng rng(7);
+        constexpr std::uint64_t accesses = 400'000;
+        for (std::uint64_t i = 0; i < accesses; ++i) {
+            const CoreId core = static_cast<CoreId>(i % 16);
+            if (i % 4 == 0)
+                hierarchy.accessInst(core, rng.nextRange(8 << 20));
+            else
+                hierarchy.accessData(core, rng.nextRange(8 << 20),
+                                     rng.nextBool(0.3));
+        }
+        return accesses;
+    });
+
+    suite.add("hma_access", "accesses", [&config, &data] {
+        // The full demand path: placement lookup, DRAM timing,
+        // AVF tracking (the DDR-only profiling pass).
+        const SimResult result = runDdrOnly(config, data);
+        return result.requests;
+    });
+
+    suite.add("migration_epochs", "accesses", [&config] {
+        const auto engine =
+            makeEngine(DynamicScheme::CrossCounter, config);
+        PlacementMap map(config.hbmPages());
+        ZipfSampler zipf(32'768, 0.8);
+        Rng rng(11);
+        constexpr std::uint64_t per_epoch = 20'000;
+        constexpr std::uint64_t epochs = 16;
+        Cycle now = 0;
+        for (std::uint64_t e = 0; e < epochs; ++e) {
+            for (std::uint64_t i = 0; i < per_epoch; ++i) {
+                const PageId page =
+                    static_cast<PageId>(zipf.sample(rng));
+                engine->onAccess(page, rng.nextBool(0.3),
+                                 map.memoryOf(page));
+            }
+            now += engine->interval();
+            const MigrationDecision decision =
+                engine->onInterval(now, map);
+            (void)decision;
+        }
+        return per_epoch * epochs;
+    });
+
+    suite.add("faultsim_trials", "trials", [] {
+        const FaultSim sim(FaultSimConfig::ddrChipKill());
+        static std::uint64_t seed = 1;
+        // A fresh seed per iteration: warmup must not train the
+        // branch predictor on one fault pattern.
+        const FaultSimResult result =
+            sim.run(2 * FaultSim::shardTrials, seed++);
+        return result.trials;
+    });
+
+    suite.add("pool_dispatch", "tasks", [] {
+        runner::ThreadPool pool(4);
+        constexpr std::size_t rounds = 64;
+        constexpr std::size_t tasks = 64;
+        std::atomic<std::uint64_t> sink{0};
+        for (std::size_t round = 0; round < rounds; ++round)
+            pool.runIndexed(tasks, [&](std::size_t index) {
+                sink.fetch_add(runner::taskSeed(1, index),
+                               std::memory_order_relaxed);
+            });
+        return static_cast<std::uint64_t>(rounds * tasks);
+    });
+
+    return suite;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain("perf_suite", [&] {
+        Harness harness("perf_suite", argc, argv);
+        const SystemConfig &config = harness.config();
+
+        GeneratorOptions small;
+        small.traceScale = 0.05;
+        const WorkloadData data =
+            prepareWorkload(homogeneousWorkload("mcf"), small);
+
+        const perf::Microbench suite = buildSuite(config, data);
+        const auto results = runMicrobenchSuite(harness, suite);
+        printMicrobenchTable(results,
+                             "perf_suite: hot-kernel throughput");
+        return harness.finish();
+    });
+}

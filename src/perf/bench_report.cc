@@ -1,0 +1,306 @@
+#include "perf/bench_report.hh"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include <sys/utsname.h>
+
+#include "telemetry/telemetry.hh"
+
+namespace ramp::perf
+{
+
+namespace
+{
+
+using telemetry::jsonEscape;
+using telemetry::jsonNumber;
+
+/** Throughput quote: count/wall, null-rendered when unmeasured. */
+double
+perSecond(std::uint64_t count, double wall_seconds)
+{
+    if (count == 0 || !(wall_seconds > 0))
+        return std::numeric_limits<double>::quiet_NaN();
+    return static_cast<double>(count) / wall_seconds;
+}
+
+std::string
+hostJson()
+{
+    utsname uts{};
+    const bool have_uname = uname(&uts) == 0;
+    std::ostringstream out;
+    out << "{\"os\": \""
+        << jsonEscape(have_uname ? uts.sysname : "unknown")
+        << "\", \"release\": \""
+        << jsonEscape(have_uname ? uts.release : "unknown")
+        << "\", \"arch\": \""
+        << jsonEscape(have_uname ? uts.machine : "unknown")
+        << "\", \"cpus\": " << std::thread::hardware_concurrency()
+        << ", \"compiler\": \""
+#if defined(__clang__)
+        << "clang " << jsonEscape(__clang_version__)
+#elif defined(__GNUC__)
+        << "gcc " << jsonEscape(__VERSION__)
+#else
+        << "unknown"
+#endif
+        << "\", \"build\": \""
+#ifdef NDEBUG
+        << "release"
+#else
+        << "debug"
+#endif
+        << "\"}";
+    return out.str();
+}
+
+} // namespace
+
+std::string
+renderBenchReport(const BenchReportSpec &spec)
+{
+    const auto &snap = spec.metrics;
+    const std::uint64_t accesses =
+        snap.counterOr("hma.accesses.hbm") +
+        snap.counterOr("hma.accesses.ddr");
+    const std::uint64_t trials = snap.counterOr("faultsim.trials");
+    const std::uint64_t tasks = snap.counterOr("pool.tasks");
+
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"schema\": \"" << benchSchema << "\",\n"
+        << "  \"tool\": \"" << jsonEscape(spec.tool) << "\",\n"
+        << "  \"jobs\": " << spec.jobs << ",\n"
+        << "  \"host\": " << hostJson() << ",\n"
+        << "  \"wall_seconds\": " << jsonNumber(spec.wallSeconds)
+        << ",\n";
+
+    const ResourceSummary &res = spec.resources;
+    out << "  \"resources\": {\n"
+        << "    \"samples\": " << res.samples << ",\n"
+        << "    \"peak_rss_bytes\": " << res.peakRssBytes << ",\n"
+        << "    \"mean_rss_bytes\": "
+        << jsonNumber(res.rssSeries.mean()) << ",\n"
+        << "    \"max_rss_bytes\": "
+        << jsonNumber(res.rssSeries.max()) << ",\n"
+        << "    \"user_cpu_seconds\": "
+        << jsonNumber(res.userCpuSeconds) << ",\n"
+        << "    \"sys_cpu_seconds\": "
+        << jsonNumber(res.sysCpuSeconds) << ",\n"
+        << "    \"major_faults\": " << res.majorFaults << ",\n"
+        << "    \"minor_faults\": " << res.minorFaults << "\n"
+        << "  },\n";
+
+    out << "  \"throughput\": {\n"
+        << "    \"accesses_per_second\": "
+        << jsonNumber(perSecond(accesses, spec.wallSeconds)) << ",\n"
+        << "    \"trials_per_second\": "
+        << jsonNumber(perSecond(trials, spec.wallSeconds)) << ",\n"
+        << "    \"tasks_per_second\": "
+        << jsonNumber(perSecond(tasks, spec.wallSeconds)) << "\n"
+        << "  },\n";
+
+    out << "  \"counters\": {\n"
+        << "    \"accesses\": " << accesses << ",\n"
+        << "    \"trials\": " << trials << ",\n"
+        << "    \"tasks\": " << tasks << "\n"
+        << "  },\n";
+
+    const BenchPassSummary &passes = spec.passes;
+    out << "  \"passes\": {\n"
+        << "    \"count\": " << passes.count << ",\n"
+        << "    \"ok\": " << passes.ok << ",\n"
+        << "    \"total_seconds\": "
+        << jsonNumber(passes.seconds.sum()) << ",\n"
+        << "    \"mean_seconds\": "
+        << jsonNumber(passes.seconds.mean()) << ",\n"
+        << "    \"min_seconds\": "
+        << jsonNumber(passes.seconds.min()) << ",\n"
+        << "    \"max_seconds\": "
+        << jsonNumber(passes.seconds.max()) << "\n"
+        << "  },\n";
+
+    out << "  \"percentiles\": {";
+    bool first = true;
+    for (const auto &[name, hist] : snap.histograms) {
+        out << (first ? "\n" : ",\n") << "    \""
+            << jsonEscape(name) << "\": {\"p50\": "
+            << jsonNumber(hist.p50())
+            << ", \"p95\": " << jsonNumber(hist.p95())
+            << ", \"p99\": " << jsonNumber(hist.p99())
+            << ", \"total\": " << hist.total() << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+
+    out << "  \"microbenchmarks\": [";
+    for (std::size_t i = 0; i < spec.microbenchmarks.size(); ++i) {
+        const BenchResult &r = spec.microbenchmarks[i];
+        out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+            << jsonEscape(r.name) << "\", \"unit\": \""
+            << jsonEscape(r.unit) << "\", \"items_per_iteration\": "
+            << r.itemsPerIteration
+            << ", \"warmup_iterations\": " << r.warmupIterations
+            << ", \"iterations\": " << r.iterations
+            << ", \"mean_seconds\": " << jsonNumber(r.meanSeconds)
+            << ", \"stddev_seconds\": "
+            << jsonNumber(r.stddevSeconds)
+            << ", \"ci95_seconds\": " << jsonNumber(r.ci95Seconds)
+            << ", \"min_seconds\": " << jsonNumber(r.minSeconds)
+            << ", \"max_seconds\": " << jsonNumber(r.maxSeconds)
+            << ", \"items_per_second\": "
+            << jsonNumber(r.itemsPerSecond) << "}";
+    }
+    out << (spec.microbenchmarks.empty() ? "" : "\n  ") << "]\n"
+        << "}\n";
+    return out.str();
+}
+
+namespace
+{
+
+/** One side's value at an object path, NaN when absent/null. */
+double
+numberAt(const JsonValue &doc,
+         const std::vector<std::string> &path)
+{
+    const JsonValue *node = &doc;
+    for (const std::string &key : path) {
+        node = node->find(key);
+        if (node == nullptr)
+            return std::numeric_limits<double>::quiet_NaN();
+    }
+    return node->isNumber()
+               ? node->number
+               : std::numeric_limits<double>::quiet_NaN();
+}
+
+/** The microbenchmark row with the given name, or nullptr. */
+const JsonValue *
+findMicro(const JsonValue &doc, const std::string &name)
+{
+    const JsonValue *rows = doc.find("microbenchmarks");
+    if (rows == nullptr || !rows->isArray())
+        return nullptr;
+    for (const JsonValue &row : rows->array)
+        if (row.stringOr("name", "") == name)
+            return &row;
+    return nullptr;
+}
+
+/** Compare one metric; appends only when both sides measured it. */
+void
+compareOne(std::vector<MetricDiff> &diffs, const std::string &name,
+           double base, double cand, double limit_pct,
+           bool higher_is_better, double floor_value)
+{
+    if (!std::isfinite(base) || !std::isfinite(cand))
+        return;
+    // Below the noise floor a ratio means nothing (a 2 ms wall
+    // time doubling is not a regression signal).
+    if (base < floor_value && cand < floor_value)
+        return;
+    if (!(base > 0))
+        return;
+    MetricDiff diff;
+    diff.name = name;
+    diff.baseline = base;
+    diff.candidate = cand;
+    diff.deltaPct = (cand - base) / base * 100.0;
+    diff.limitPct = limit_pct;
+    diff.higherIsBetter = higher_is_better;
+    diff.regressed = higher_is_better
+                         ? diff.deltaPct < -limit_pct
+                         : diff.deltaPct > limit_pct;
+    diffs.push_back(std::move(diff));
+}
+
+} // namespace
+
+std::vector<MetricDiff>
+compareBenchReports(const JsonValue &baseline,
+                    const JsonValue &candidate,
+                    const DiffOptions &options, std::string &error)
+{
+    std::vector<MetricDiff> diffs;
+    const std::string base_schema = baseline.stringOr("schema", "");
+    const std::string cand_schema =
+        candidate.stringOr("schema", "");
+    if (base_schema != benchSchema || cand_schema != benchSchema) {
+        error = "not a " + std::string(benchSchema) +
+                " document (baseline schema '" + base_schema +
+                "', candidate schema '" + cand_schema + "')";
+        return diffs;
+    }
+    const std::string base_tool = baseline.stringOr("tool", "");
+    const std::string cand_tool = candidate.stringOr("tool", "");
+    if (base_tool != cand_tool) {
+        error = "tool mismatch: baseline is '" + base_tool +
+                "', candidate is '" + cand_tool + "'";
+        return diffs;
+    }
+
+    const double relax = options.relax;
+    compareOne(diffs, "wall_seconds",
+               numberAt(baseline, {"wall_seconds"}),
+               numberAt(candidate, {"wall_seconds"}),
+               options.wallPct * relax, false, options.minSeconds);
+    for (const char *name :
+         {"accesses_per_second", "trials_per_second",
+          "tasks_per_second"})
+        compareOne(diffs, std::string("throughput.") + name,
+                   numberAt(baseline, {"throughput", name}),
+                   numberAt(candidate, {"throughput", name}),
+                   options.throughputPct * relax, true,
+                   options.minPerSecond);
+    compareOne(diffs, "resources.peak_rss_bytes",
+               numberAt(baseline, {"resources", "peak_rss_bytes"}),
+               numberAt(candidate, {"resources", "peak_rss_bytes"}),
+               options.rssPct * relax, false, options.minBytes);
+
+    if (const JsonValue *percentiles =
+            baseline.find("percentiles")) {
+        for (const auto &[hist, quantiles] :
+             percentiles->object) {
+            if (!quantiles.isObject())
+                continue;
+            for (const char *q : {"p50", "p95", "p99"})
+                compareOne(
+                    diffs, "percentiles." + hist + "." + q,
+                    numberAt(baseline, {"percentiles", hist, q}),
+                    numberAt(candidate, {"percentiles", hist, q}),
+                    options.percentilePct * relax, false,
+                    options.minSeconds);
+        }
+    }
+
+    if (const JsonValue *rows = baseline.find("microbenchmarks");
+        rows != nullptr && rows->isArray()) {
+        for (const JsonValue &row : rows->array) {
+            const std::string name = row.stringOr("name", "");
+            if (name.empty())
+                continue;
+            const JsonValue *other = findMicro(candidate, name);
+            if (other == nullptr)
+                continue;
+            compareOne(diffs, "micro." + name + ".min_seconds",
+                       row.numberOr("min_seconds", NAN),
+                       other->numberOr("min_seconds", NAN),
+                       options.microPct * relax, false,
+                       options.minSeconds / 100);
+            compareOne(diffs,
+                       "micro." + name + ".items_per_second",
+                       row.numberOr("items_per_second", NAN),
+                       other->numberOr("items_per_second", NAN),
+                       options.microPct * relax, true,
+                       options.minPerSecond);
+        }
+    }
+    return diffs;
+}
+
+} // namespace ramp::perf

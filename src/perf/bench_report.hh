@@ -1,0 +1,136 @@
+/**
+ * @file
+ * BENCH_<tool>.json: the repo's machine-readable performance
+ * trajectory.
+ *
+ * Every harness binary can emit one document per run (--bench-out)
+ * with a stable schema ("ramp-bench-v1"): host/build metadata, the
+ * campaign wall time, throughput derived from the telemetry
+ * counters (accesses/s, FaultSim trials/s, pool tasks/s), the
+ * resource sampler's peak-RSS/CPU summary, pass-duration summary
+ * statistics, p50/p95/p99 of every telemetry histogram, and — for
+ * the microbenchmark suite — the per-kernel BenchResult rows.
+ *
+ * compareBenchReports() is the regression gate: it joins two parsed
+ * documents metric by metric, applies a per-family noise threshold
+ * (seconds and RSS regress upward, throughput regresses downward),
+ * and reports every comparison so CI can fail a PR with a
+ * human-readable table. Committed baselines live at the repo root
+ * (BENCH_fig01_pareto.json, BENCH_perf_suite.json).
+ */
+
+#ifndef RAMP_PERF_BENCH_REPORT_HH
+#define RAMP_PERF_BENCH_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "perf/json.hh"
+#include "perf/microbench.hh"
+#include "perf/resource.hh"
+#include "telemetry/registry.hh"
+
+namespace ramp::perf
+{
+
+/** Schema identifier stamped into (and checked in) every document. */
+inline constexpr const char *benchSchema = "ramp-bench-v1";
+
+/** Pass-duration summary the harness aggregates from its report. */
+struct BenchPassSummary
+{
+    /** Recorded passes, and how many completed Ok. */
+    std::size_t count = 0;
+    std::size_t ok = 0;
+
+    /** Durations of the measured (non-replayed) passes. */
+    RunningStat seconds;
+};
+
+/** Everything one BENCH document is rendered from. */
+struct BenchReportSpec
+{
+    std::string tool;
+    unsigned jobs = 0;
+
+    /** Harness-construction-to-finish wall time, seconds. */
+    double wallSeconds = 0;
+
+    /** The resource sampler's window (zero samples = no sampler). */
+    ResourceSummary resources;
+
+    /** Merged telemetry snapshot (throughput + percentiles). */
+    telemetry::MetricsSnapshot metrics;
+
+    BenchPassSummary passes;
+
+    /** Microbenchmark rows (empty for figure binaries). */
+    std::vector<BenchResult> microbenchmarks;
+};
+
+/** Render the BENCH_<tool>.json document. */
+std::string renderBenchReport(const BenchReportSpec &spec);
+
+/** One metric comparison of a bench diff. */
+struct MetricDiff
+{
+    /** Dotted metric path ("wall_seconds", "micro.cache.mean"...). */
+    std::string name;
+
+    double baseline = 0;
+    double candidate = 0;
+
+    /** Relative change in percent ((candidate-baseline)/baseline). */
+    double deltaPct = 0;
+
+    /** Allowed noise band in percent. */
+    double limitPct = 0;
+
+    /** Direction: throughput regresses down, seconds/RSS up. */
+    bool higherIsBetter = false;
+
+    bool regressed = false;
+};
+
+/**
+ * Per-family noise thresholds, in percent. The defaults are
+ * deliberately generous: the committed baselines are gated on
+ * shared CI runners whose run-to-run noise is far above a local
+ * machine's.
+ */
+struct DiffOptions
+{
+    double wallPct = 50;
+    double throughputPct = 40;
+    double rssPct = 50;
+    double percentilePct = 75;
+    double microPct = 50;
+
+    /** Multiplies every threshold (CLI --relax). */
+    double relax = 1.0;
+
+    /** @{ @name Noise floors: skip metrics too small to compare */
+    double minSeconds = 1e-3;
+    double minBytes = 16.0 * 1024 * 1024;
+    double minPerSecond = 1.0;
+    /** @} */
+};
+
+/**
+ * Join two parsed BENCH documents metric by metric. The metric list
+ * comes from the baseline; metrics missing (or null / below the
+ * noise floor) on either side are skipped rather than flagged.
+ * Returns every comparison made; `error` is set (and the result
+ * empty) when the documents are not comparable (schema or tool
+ * mismatch).
+ */
+std::vector<MetricDiff>
+compareBenchReports(const JsonValue &baseline,
+                    const JsonValue &candidate,
+                    const DiffOptions &options, std::string &error);
+
+} // namespace ramp::perf
+
+#endif // RAMP_PERF_BENCH_REPORT_HH

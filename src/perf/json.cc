@@ -1,0 +1,255 @@
+#include "perf/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ramp::perf
+{
+
+namespace
+{
+
+/** Cursor over the document with position-tagged failure. */
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool atEnd()
+    {
+        skipWs();
+        return pos >= text.size();
+    }
+
+    char peek()
+    {
+        skipWs();
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    bool consume(char c)
+    {
+        if (peek() != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("unrecognised token");
+        pos += word.size();
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                  if (pos + 4 > text.size())
+                      return fail("truncated \\u escape");
+                  const std::string hex(text.substr(pos, 4));
+                  char *end = nullptr;
+                  const long code =
+                      std::strtol(hex.c_str(), &end, 16);
+                  if (end != hex.c_str() + 4)
+                      return fail("bad \\u escape");
+                  pos += 4;
+                  // Latin-1 subset is enough for our own emitters
+                  // (they only escape control characters).
+                  out.push_back(static_cast<char>(code & 0xff));
+                  break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        switch (peek()) {
+          case '{': {
+              out.kind = JsonValue::Kind::Object;
+              ++pos;
+              if (peek() == '}') {
+                  ++pos;
+                  return true;
+              }
+              while (true) {
+                  std::string key;
+                  if (!parseString(key))
+                      return false;
+                  if (!consume(':'))
+                      return false;
+                  JsonValue member;
+                  if (!parseValue(member))
+                      return false;
+                  out.object.emplace(std::move(key),
+                                     std::move(member));
+                  if (peek() == ',') {
+                      ++pos;
+                      continue;
+                  }
+                  return consume('}');
+              }
+          }
+          case '[': {
+              out.kind = JsonValue::Kind::Array;
+              ++pos;
+              if (peek() == ']') {
+                  ++pos;
+                  return true;
+              }
+              while (true) {
+                  JsonValue element;
+                  if (!parseValue(element))
+                      return false;
+                  out.array.push_back(std::move(element));
+                  if (peek() == ',') {
+                      ++pos;
+                      continue;
+                  }
+                  return consume(']');
+              }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default: {
+              skipWs();
+              // Copy the token: string_views are not guaranteed
+              // null-terminated, which strtod requires.
+              const std::string chunk(text.substr(pos, 64));
+              char *end = nullptr;
+              const double value =
+                  std::strtod(chunk.c_str(), &end);
+              if (end == chunk.c_str())
+                  return fail("unrecognised token");
+              out.kind = JsonValue::Kind::Number;
+              out.number = value;
+              pos += static_cast<std::size_t>(end - chunk.c_str());
+              return true;
+          }
+        }
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *member = find(key);
+    return member != nullptr && member->isNumber() ? member->number
+                                                   : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *member = find(key);
+    return member != nullptr && member->isString() ? member->string
+                                                   : fallback;
+}
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string &error)
+{
+    Parser parser{text, 0, {}};
+    out = JsonValue{};
+    if (!parser.parseValue(out)) {
+        error = parser.error.empty() ? "malformed JSON"
+                                     : parser.error;
+        return false;
+    }
+    if (!parser.atEnd()) {
+        error = "trailing garbage at offset " +
+                std::to_string(parser.pos);
+        return false;
+    }
+    return true;
+}
+
+bool
+parseJsonFile(const std::string &path, JsonValue &out,
+              std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    if (!parseJson(text, out, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+} // namespace ramp::perf

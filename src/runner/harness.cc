@@ -17,20 +17,10 @@ namespace ramp::runner
 namespace
 {
 
-/** Hit fraction of a hits/misses counter pair (0 when idle). */
-double
-hitRate(std::uint64_t hits, std::uint64_t misses)
-{
-    const std::uint64_t total = hits + misses;
-    return total == 0
-               ? 0.0
-               : static_cast<double>(hits) /
-                     static_cast<double>(total);
-}
-
 /**
  * Render the --metrics-out document: the merged registry snapshot
- * plus derived hit-rates and the per-pass status/duration list.
+ * plus derived hit-rates, histogram percentiles, and the per-pass
+ * status/duration list.
  */
 std::string
 metricsJson(const std::string &tool, unsigned jobs,
@@ -58,17 +48,31 @@ metricsJson(const std::string &tool, unsigned jobs,
                hitRate(snap.counterOr("cache.l2.hits"),
                        snap.counterOr("cache.l2.misses")))
         << ",\n"
+        // A share of traffic split across the memories, not a hit
+        // rate: the HBM serving an access is not a "hit".
         << "    \"hbm_access_share\": "
         << telemetry::jsonNumber(
-               hitRate(snap.counterOr("hma.accesses.hbm"),
-                       snap.counterOr("hma.accesses.ddr")))
+               accessShare(snap.counterOr("hma.accesses.hbm"),
+                           snap.counterOr("hma.accesses.ddr")))
         << ",\n"
         << "    \"profile_cache_hit_rate\": "
         << telemetry::jsonNumber(hitRate(
                snap.counterOr("profile_cache.memory_hits") +
                    snap.counterOr("profile_cache.disk_hits"),
                snap.counterOr("profile_cache.misses")))
-        << "\n"
+        << ",\n"
+        << "    \"percentiles\": {";
+    bool first = true;
+    for (const auto &[name, hist] : snap.histograms) {
+        out << (first ? "\n" : ",\n") << "      \""
+            << telemetry::jsonEscape(name)
+            << "\": {\"p50\": " << telemetry::jsonNumber(hist.p50())
+            << ", \"p95\": " << telemetry::jsonNumber(hist.p95())
+            << ", \"p99\": " << telemetry::jsonNumber(hist.p99())
+            << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n    ") << "}\n"
         << "  },\n"
         << "  \"metrics\": " << snap.toJson(2) << ",\n"
         << "  \"passes\": [\n";
@@ -99,14 +103,21 @@ Harness::Harness(std::string tool, RunnerOptions options)
       options_(std::move(options)),
       config_(SystemConfig::scaledDefault()),
       pool_(options_.jobs),
-      report_(tool_)
+      report_(tool_),
+      startTime_(std::chrono::steady_clock::now())
 {
     validateSystemConfig(config_);
     if (!options_.metricsPath.empty() ||
-        !options_.tracePath.empty()) {
+        !options_.tracePath.empty() ||
+        !options_.benchPath.empty()) {
+        // The bench report derives its throughput quotes from the
+        // telemetry counters, so --bench-out switches telemetry on
+        // like the other exporters do.
         telemetry::setEnabled(true);
         telemetry::captureLogEvents();
     }
+    if (!options_.benchPath.empty())
+        sampler_ = std::make_unique<perf::ResourceSampler>();
     if (!options_.cacheDir.empty())
         cache_.setDiskDir(options_.cacheDir);
     if (!options_.checkpointDir.empty())
@@ -275,9 +286,48 @@ Harness::record(const std::string &workload, const SimResult &result)
     return result;
 }
 
+void
+Harness::addMicrobenchResults(std::vector<perf::BenchResult> rows)
+{
+    microResults_.insert(microResults_.end(),
+                         std::make_move_iterator(rows.begin()),
+                         std::make_move_iterator(rows.end()));
+}
+
+std::string
+Harness::benchJson()
+{
+    perf::BenchReportSpec spec;
+    spec.tool = tool_;
+    spec.jobs = pool_.jobs();
+    spec.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count();
+    if (sampler_ != nullptr)
+        spec.resources = sampler_->summary();
+    spec.metrics = telemetry::metrics().snapshot();
+    for (const PassRecord &pass : report_.passes()) {
+        ++spec.passes.count;
+        if (pass.status == PassStatus::Ok)
+            ++spec.passes.ok;
+        // Replayed checkpoint passes record 0 s; folding them in
+        // would fake an impossibly fast campaign.
+        if (pass.seconds > 0)
+            spec.passes.seconds.add(pass.seconds);
+    }
+    spec.microbenchmarks = microResults_;
+    return perf::renderBenchReport(spec);
+}
+
 int
 Harness::finish()
 {
+    // Join the sampler before snapshotting, so the final RSS/CPU
+    // readings cover the whole campaign (idempotent: a cancelled
+    // campaign finishes once from the cancellation path).
+    if (sampler_ != nullptr)
+        sampler_->stop();
     const auto failures = report_.failures();
     if (!failures.empty()) {
         TextTable table({"workload", "label", "status", "error",
@@ -313,6 +363,13 @@ Harness::finish()
                          telemetry::traceJson())) {
         std::fprintf(stderr, "%s: cannot write trace to %s\n",
                      tool_.c_str(), options_.tracePath.c_str());
+        code = 1;
+    }
+    if (!options_.benchPath.empty() &&
+        !atomicWriteFile(options_.benchPath, benchJson())) {
+        std::fprintf(stderr,
+                     "%s: cannot write bench report to %s\n",
+                     tool_.c_str(), options_.benchPath.c_str());
         code = 1;
     }
     return code;

@@ -3,9 +3,10 @@
  * The experiment harness every figure/table binary runs on.
  *
  * One Harness per binary: it parses the shared runner flags
- * (--jobs, --json, --metrics-out, --trace-out, --cache-dir,
- * --checkpoint, --pass-timeout), owns the thread pool, the profile
- * cache, the checkpoint journal, the watchdog, and the result sink,
+ * (--jobs, --json, --metrics-out, --trace-out, --bench-out,
+ * --cache-dir, --checkpoint, --pass-timeout), owns the thread pool,
+ * the profile cache, the checkpoint journal, the watchdog, the
+ * resource sampler, and the result sink,
  * and provides the operations the
  * paper's methodology repeats everywhere — profile a workload set
  * (cached, parallel) and fan policy passes out over it (parallel,
@@ -23,6 +24,7 @@
 #ifndef RAMP_RUNNER_HARNESS_HH
 #define RAMP_RUNNER_HARNESS_HH
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <functional>
@@ -30,6 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "perf/bench_report.hh"
+#include "perf/microbench.hh"
+#include "perf/resource.hh"
 #include "runner/checkpoint.hh"
 #include "runner/pool.hh"
 #include "runner/profile_cache.hh"
@@ -165,12 +170,29 @@ class Harness
                      const SimResult &result);
 
     /**
+     * Fold microbenchmark rows into the --bench-out document
+     * (perf_suite registers its kernel suite this way).
+     */
+    void addMicrobenchResults(std::vector<perf::BenchResult> rows);
+
+    /**
+     * The resource sampler started for --bench-out (nullptr
+     * otherwise); tests assert on its summary.
+     */
+    const perf::ResourceSampler *sampler() const
+    {
+        return sampler_.get();
+    }
+
+    /**
      * Finish the run: write the JSON report, telemetry metrics
-     * snapshot (--metrics-out), and Chrome trace (--trace-out)
-     * when requested (each atomic tmp+rename) and print a failure
-     * summary to stderr when any pass is not Ok. Exit code: 0 on
-     * full success, 1 when any output file cannot be written, 3
-     * when any pass failed or timed out.
+     * snapshot (--metrics-out), Chrome trace (--trace-out), and
+     * BENCH performance report (--bench-out; the resource sampler
+     * is stopped and joined first) when requested (each atomic
+     * tmp+rename) and print a failure summary to stderr when any
+     * pass is not Ok. Exit code: 0 on full success, 1 when any
+     * output file cannot be written, 3 when any pass failed or
+     * timed out.
      */
     int finish();
 
@@ -178,6 +200,9 @@ class Harness
     std::vector<PassOutcome>
     runPassesImpl(const std::vector<PassDesc> &descs,
                   const std::function<SimResult(std::size_t)> &fn);
+
+    /** Render the --bench-out document from the run's state. */
+    std::string benchJson();
 
     std::string tool_;
     RunnerOptions options_;
@@ -187,6 +212,9 @@ class Harness
     Report report_;
     std::unique_ptr<CheckpointJournal> journal_;
     std::unique_ptr<Watchdog> watchdog_;
+    std::unique_ptr<perf::ResourceSampler> sampler_;
+    std::vector<perf::BenchResult> microResults_;
+    std::chrono::steady_clock::time_point startTime_;
 };
 
 /**

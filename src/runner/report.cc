@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "common/stats.hh"
@@ -16,6 +17,26 @@ double
 meanRatio(std::span<const double> ratios)
 {
     return mean(ratios);
+}
+
+double
+hitRate(std::uint64_t hits, std::uint64_t misses)
+{
+    const std::uint64_t total = hits + misses;
+    // NaN, not 0: an idle counter pair is unmeasured, and the JSON
+    // emitters render NaN as null instead of a fake perfect miss.
+    return total == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+double
+accessShare(std::uint64_t part, std::uint64_t rest)
+{
+    const std::uint64_t total = part + rest;
+    return total == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : static_cast<double>(part) /
+                            static_cast<double>(total);
 }
 
 double
@@ -69,6 +90,8 @@ RunnerOptions::parse(int argc, char **argv)
         options.metricsPath = env;
     if (const char *env = std::getenv("RAMP_TRACE_OUT"))
         options.tracePath = env;
+    if (const char *env = std::getenv("RAMP_BENCH_OUT"))
+        options.benchPath = env;
     if (const char *env = std::getenv("RAMP_CACHE_DIR"))
         options.cacheDir = env;
     if (const char *env = std::getenv("RAMP_CHECKPOINT"))
@@ -104,6 +127,8 @@ RunnerOptions::parse(int argc, char **argv)
             options.metricsPath = value("--metrics-out");
         } else if (arg == "--trace-out") {
             options.tracePath = value("--trace-out");
+        } else if (arg == "--bench-out") {
+            options.benchPath = value("--bench-out");
         } else if (arg == "--cache-dir") {
             options.cacheDir = value("--cache-dir");
         } else if (arg == "--checkpoint") {
@@ -129,6 +154,8 @@ RunnerOptions::flagsHelp()
            "snapshot (env RAMP_METRICS_OUT)\n"
            "  --trace-out PATH  write a Chrome trace-event file "
            "(env RAMP_TRACE_OUT)\n"
+           "  --bench-out PATH  write a BENCH_<tool>.json "
+           "performance report (env RAMP_BENCH_OUT)\n"
            "  --cache-dir D   persist profiling passes on disk "
            "(env RAMP_CACHE_DIR)\n"
            "  --checkpoint D  journal completed passes; resume a "
@@ -211,12 +238,12 @@ jsonEscape(const std::string &text)
     return out;
 }
 
-/** Finite JSON number (JSON has no inf/nan; clamp to 0). */
+/** Finite JSON number (JSON has no inf/nan; render as null). */
 std::string
 jsonNumber(double value)
 {
     if (!std::isfinite(value))
-        return "0";
+        return "null";
     std::ostringstream out;
     out.precision(17);
     out << value;

@@ -17,6 +17,7 @@
 #ifndef RAMP_RUNNER_REPORT_HH
 #define RAMP_RUNNER_REPORT_HH
 
+#include <cstdint>
 #include <mutex>
 #include <span>
 #include <string>
@@ -31,6 +32,23 @@ namespace ramp::runner
 
 /** Arithmetic mean of a ratio series (0 when empty). */
 double meanRatio(std::span<const double> ratios);
+
+/** @{ @name Derived-metric helpers (--metrics-out "derived" block)
+ * Numerically both are part/(part+rest), but they answer different
+ * questions: hitRate() is the success fraction of a hits/misses
+ * counter pair, accessShare() is one component's share of traffic
+ * split across two destinations (e.g. the HBM's share of demand
+ * accesses). Keeping them separate stops a share from being
+ * mislabelled as a hit rate.
+ */
+
+/** Hit fraction of a hits/misses pair (NaN when idle: the JSON
+ * emitters render that as null, not a fake 0). */
+double hitRate(std::uint64_t hits, std::uint64_t misses);
+
+/** Share of `part` in part+rest traffic (NaN when idle). */
+double accessShare(std::uint64_t part, std::uint64_t rest);
+/** @} */
 
 /**
  * One ratio column of a figure table, accumulated per workload and
@@ -76,6 +94,9 @@ struct RunnerOptions
     /** Chrome trace-event target ("" = no trace file). */
     std::string tracePath;
 
+    /** BENCH_<tool>.json target ("" = no bench report). */
+    std::string benchPath;
+
     /** On-disk profile-cache directory ("" = memory-only). */
     std::string cacheDir;
 
@@ -90,12 +111,13 @@ struct RunnerOptions
 
     /**
      * Parse --jobs N, --json PATH, --metrics-out PATH, --trace-out
-     * PATH, --cache-dir PATH, --checkpoint DIR, and --pass-timeout
-     * S from argv (with RAMP_JOBS / RAMP_JSON / RAMP_METRICS_OUT /
-     * RAMP_TRACE_OUT / RAMP_CACHE_DIR / RAMP_CHECKPOINT /
-     * RAMP_PASS_TIMEOUT environment fallbacks); everything else
-     * lands in positional. Throws PassError(Usage) on a malformed
-     * flag — the binary decides the exit code.
+     * PATH, --bench-out PATH, --cache-dir PATH, --checkpoint DIR,
+     * and --pass-timeout S from argv (with RAMP_JOBS / RAMP_JSON /
+     * RAMP_METRICS_OUT / RAMP_TRACE_OUT / RAMP_BENCH_OUT /
+     * RAMP_CACHE_DIR / RAMP_CHECKPOINT / RAMP_PASS_TIMEOUT
+     * environment fallbacks); everything else lands in positional.
+     * Throws PassError(Usage) on a malformed flag — the binary
+     * decides the exit code.
      */
     static RunnerOptions parse(int argc, char **argv);
 

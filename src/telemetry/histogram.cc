@@ -1,6 +1,7 @@
 #include "telemetry/histogram.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -54,6 +55,37 @@ FixedHistogram::add(double x, std::uint64_t count)
 {
     counts_[bucketOf(x)] += count;
     total_ += count;
+}
+
+double
+FixedHistogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    q = std::clamp(q, 0.0, 1.0);
+    // The continuous rank the quantile lands on; walk the
+    // cumulative counts to the bucket containing it.
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += counts_[i];
+        if (static_cast<double>(cumulative) < target)
+            continue;
+        const double fraction =
+            (target - before) / static_cast<double>(counts_[i]);
+        return edges_[i] +
+               (edges_[i + 1] - edges_[i]) *
+                   std::clamp(fraction, 0.0, 1.0);
+    }
+    // All samples sit below the target rank only through rounding;
+    // the quantile is the top of the last occupied bucket.
+    for (std::size_t i = counts_.size(); i-- > 0;)
+        if (counts_[i] != 0)
+            return edges_[i + 1];
+    return std::numeric_limits<double>::quiet_NaN();
 }
 
 void

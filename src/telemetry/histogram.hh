@@ -68,6 +68,21 @@ class FixedHistogram
     }
 
     /**
+     * Value at quantile q in [0, 1], linearly interpolated inside
+     * the bucket holding the q-th sample (the usual fixed-bucket
+     * estimate: exact at bucket edges, linear between them). NaN
+     * when the histogram is empty — an empty distribution has no
+     * quantiles, and emitters render NaN as JSON null.
+     */
+    double percentile(double q) const;
+
+    /** @{ @name Common latency quantiles (percentile shorthands) */
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
+    /** @} */
+
+    /**
      * Fold another histogram's counts into this one. The layouts
      * must match exactly (panics otherwise): merge is for shards
      * and per-workload partials of one metric, not unit conversion.

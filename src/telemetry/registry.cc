@@ -1,5 +1,6 @@
 #include "telemetry/registry.hh"
 
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -74,6 +75,16 @@ MetricsSnapshot::counterOr(const std::string &name,
 {
     const auto it = counters.find(name);
     return it == counters.end() ? fallback : it->second;
+}
+
+double
+MetricsSnapshot::histogramPercentile(const std::string &name,
+                                     double q) const
+{
+    const auto it = histograms.find(name);
+    return it == histograms.end()
+               ? std::numeric_limits<double>::quiet_NaN()
+               : it->second.percentile(q);
 }
 
 std::string

@@ -127,6 +127,13 @@ struct MetricsSnapshot
     std::uint64_t counterOr(const std::string &name,
                             std::uint64_t fallback = 0) const;
 
+    /**
+     * Quantile of the named histogram (FixedHistogram::percentile);
+     * NaN when the histogram was never registered or is empty.
+     */
+    double histogramPercentile(const std::string &name,
+                               double q) const;
+
     /** Render as a JSON object (counters/gauges/histograms keys). */
     std::string toJson(int indent = 0) const;
 };

@@ -77,7 +77,7 @@ std::string
 jsonNumber(double value)
 {
     if (!std::isfinite(value))
-        return "0";
+        return "null";
     std::ostringstream out;
     out.precision(17);
     out << value;

@@ -49,7 +49,12 @@ void resetAll();
 /** Escape a string for embedding in a JSON string literal. */
 std::string jsonEscape(std::string_view text);
 
-/** Finite JSON number rendering (non-finite values become 0). */
+/**
+ * Finite JSON number rendering. JSON has no NaN/Inf tokens, and
+ * non-finite values are reachable (RunningStat::min()/max() and
+ * FixedHistogram::percentile() are NaN when empty), so they render
+ * as `null` — "not measured" — instead of masquerading as 0.
+ */
 std::string jsonNumber(double value);
 /** @} */
 

@@ -7,6 +7,7 @@
  */
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -361,12 +362,30 @@ TEST(RunnerOptions, ParsesFlagsAndPositionals)
 TEST(RunnerOptions, ParsesCheckpointAndTimeoutFlags)
 {
     const char *argv[] = {"tool", "--checkpoint", "ckptdir",
-                          "--pass-timeout", "2.5"};
+                          "--pass-timeout", "2.5", "--bench-out",
+                          "BENCH_tool.json"};
     const auto options = RunnerOptions::parse(
         static_cast<int>(std::size(argv)),
         const_cast<char **>(argv));
     EXPECT_EQ(options.checkpointDir, "ckptdir");
     EXPECT_DOUBLE_EQ(options.passTimeout, 2.5);
+    EXPECT_EQ(options.benchPath, "BENCH_tool.json");
+}
+
+TEST(DerivedRatios, HitRateAndAccessShareSemantics)
+{
+    // hitRate: hits out of hits+misses.
+    EXPECT_DOUBLE_EQ(runner::hitRate(3, 1), 0.75);
+    EXPECT_DOUBLE_EQ(runner::hitRate(0, 5), 0.0);
+    EXPECT_DOUBLE_EQ(runner::hitRate(5, 0), 1.0);
+    EXPECT_TRUE(std::isnan(runner::hitRate(0, 0)));
+
+    // accessShare: one memory's share of the combined traffic. The
+    // arithmetic matches hitRate but the second argument is the
+    // *other* memory's traffic, not a miss count.
+    EXPECT_DOUBLE_EQ(runner::accessShare(600, 400), 0.6);
+    EXPECT_DOUBLE_EQ(runner::accessShare(0, 400), 0.0);
+    EXPECT_TRUE(std::isnan(runner::accessShare(0, 0)));
 }
 
 TEST(RunnerOptions, RejectsBadFlagsWithUsageErrors)

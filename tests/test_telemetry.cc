@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <cctype>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <string>
 #include <thread>
@@ -108,6 +110,41 @@ TEST(FixedHistogram, ExplicitEdgesAndCounts)
     EXPECT_EQ(hist.bucketCount(1), 3u);
     EXPECT_EQ(hist.bucketCount(2), 1u);
     EXPECT_EQ(hist.total(), 5u);
+}
+
+TEST(FixedHistogram, PercentilesInterpolateWithinBuckets)
+{
+    auto hist = FixedHistogram::linear(0.0, 100.0, 10);
+    // A uniform series: quantiles track the identity line.
+    for (int i = 0; i < 100; ++i)
+        hist.add(i + 0.5);
+    EXPECT_NEAR(hist.percentile(0.0), 0.0, 1.0);
+    EXPECT_NEAR(hist.p50(), 50.0, 1.0);
+    EXPECT_NEAR(hist.p95(), 95.0, 1.0);
+    EXPECT_NEAR(hist.p99(), 99.0, 1.0);
+    EXPECT_NEAR(hist.percentile(1.0), 100.0, 1.0);
+    // Out-of-range quantiles clamp instead of extrapolating.
+    EXPECT_DOUBLE_EQ(hist.percentile(-1.0), hist.percentile(0.0));
+    EXPECT_DOUBLE_EQ(hist.percentile(2.0), hist.percentile(1.0));
+}
+
+TEST(FixedHistogram, PercentileOfSkewedMassLandsInItsBucket)
+{
+    auto hist = FixedHistogram::linear(0.0, 10.0, 10);
+    hist.add(0.5, 99);
+    hist.add(9.5, 1);
+    // 99% of the mass sits in [0, 1): the median must too, and only
+    // the extreme tail reaches the last bucket.
+    EXPECT_LT(hist.p50(), 1.0);
+    EXPECT_LT(hist.p95(), 1.0);
+    EXPECT_GE(hist.percentile(0.995), 9.0);
+}
+
+TEST(FixedHistogram, PercentileOfEmptyHistogramIsNaN)
+{
+    const auto hist = FixedHistogram::linear(0.0, 1.0, 4);
+    EXPECT_TRUE(std::isnan(hist.p50()));
+    EXPECT_TRUE(std::isnan(hist.percentile(1.0)));
 }
 
 TEST(FixedHistogram, MergeAddsCountsOfSameLayout)
@@ -328,6 +365,51 @@ TEST_F(TelemetryTest, LogCaptureEmitsInstantEvents)
                 std::string::npos)
             saw = true;
     EXPECT_TRUE(saw);
+}
+
+TEST_F(TelemetryTest, SnapshotQuantileAccessorMatchesHistogram)
+{
+    auto &metric = metrics().histogram(
+        "test.quantiles", FixedHistogram::linear(0.0, 10.0, 10));
+    for (int i = 0; i < 100; ++i)
+        metric.observe((i % 10) + 0.5);
+    const auto snap = metrics().snapshot();
+    EXPECT_NEAR(snap.histogramPercentile("test.quantiles", 0.5),
+                5.0, 0.5);
+    // Unknown names and empty histograms answer NaN, not zero.
+    EXPECT_TRUE(
+        std::isnan(snap.histogramPercentile("no.such.hist", 0.5)));
+}
+
+TEST(JsonNumber, NonFiniteValuesRenderAsNull)
+{
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST_F(TelemetryTest, CounterEventsAppearAsCounterPhase)
+{
+    counterEvent("proc.rss", "resource", "mb", 123.5);
+    bool saw = false;
+    for (const auto &event : collectEvents()) {
+        if (event.phase != 'C' || event.name != "proc.rss")
+            continue;
+        saw = true;
+        EXPECT_EQ(event.cat, "resource");
+        EXPECT_NE(event.argsJson.find("\"mb\""),
+                  std::string::npos);
+        EXPECT_NE(event.argsJson.find("123.5"), std::string::npos);
+    }
+    EXPECT_TRUE(saw);
+
+    const std::string json = traceJson();
+    EXPECT_TRUE(jsonBalanced(json)) << json;
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
 }
 
 TEST(TelemetryRegistryDeath, HistogramRelayoutPanics)

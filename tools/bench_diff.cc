@@ -1,0 +1,183 @@
+/**
+ * @file
+ * bench_diff: the BENCH_*.json regression gate.
+ *
+ *   bench_diff [options] BASELINE CANDIDATE
+ *
+ * Compares two ramp-bench-v1 documents metric by metric with
+ * per-family noise thresholds (perf/bench_report.hh) and prints a
+ * human-readable verdict table. Exit code: 0 when no metric
+ * regressed beyond its threshold, 1 on any regression, 2 on usage
+ * or unreadable/incomparable inputs. CI runs it against the
+ * baselines committed at the repo root, so a PR that slows a hot
+ * kernel down fails visibly instead of silently.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "perf/bench_report.hh"
+
+using namespace ramp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_diff [options] BASELINE.json CANDIDATE.json\n"
+        "\n"
+        "  --relax F         multiply every threshold by F\n"
+        "  --wall-pct P      wall-time threshold (default 50)\n"
+        "  --throughput-pct P  throughput threshold (default 40)\n"
+        "  --rss-pct P       peak-RSS threshold (default 50)\n"
+        "  --percentile-pct P  histogram-quantile threshold "
+        "(default 75)\n"
+        "  --micro-pct P     microbenchmark threshold "
+        "(default 50)\n"
+        "\n"
+        "Exit: 0 ok, 1 regression, 2 usage/unreadable input.\n");
+}
+
+double
+parsePositive(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !(value > 0)) {
+        std::fprintf(stderr,
+                     "bench_diff: %s needs a positive number, "
+                     "got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return value;
+}
+
+std::string
+pct(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%+.1f%%", value);
+    return buffer;
+}
+
+std::string
+quantity(double value)
+{
+    char buffer[32];
+    if (value >= 1e6)
+        std::snprintf(buffer, sizeof(buffer), "%.3g", value);
+    else
+        std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+    return buffer;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    perf::DiffOptions options;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "bench_diff: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--relax") {
+            options.relax = parsePositive("--relax",
+                                          value("--relax"));
+        } else if (arg == "--wall-pct") {
+            options.wallPct =
+                parsePositive("--wall-pct", value("--wall-pct"));
+        } else if (arg == "--throughput-pct") {
+            options.throughputPct = parsePositive(
+                "--throughput-pct", value("--throughput-pct"));
+        } else if (arg == "--rss-pct") {
+            options.rssPct =
+                parsePositive("--rss-pct", value("--rss-pct"));
+        } else if (arg == "--percentile-pct") {
+            options.percentilePct = parsePositive(
+                "--percentile-pct", value("--percentile-pct"));
+        } else if (arg == "--micro-pct") {
+            options.microPct =
+                parsePositive("--micro-pct", value("--micro-pct"));
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "bench_diff: unknown flag '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        usage();
+        return 2;
+    }
+
+    perf::JsonValue baseline, candidate;
+    std::string error;
+    if (!perf::parseJsonFile(paths[0], baseline, error) ||
+        !perf::parseJsonFile(paths[1], candidate, error)) {
+        std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+        return 2;
+    }
+
+    const auto diffs = perf::compareBenchReports(
+        baseline, candidate, options, error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::size_t regressions = 0;
+    TextTable table({"metric", "baseline", "candidate", "delta",
+                     "limit", "verdict"});
+    for (const auto &diff : diffs) {
+        if (diff.regressed)
+            ++regressions;
+        const bool improved = diff.higherIsBetter
+                                  ? diff.deltaPct > diff.limitPct
+                                  : diff.deltaPct < -diff.limitPct;
+        table.addRow({diff.name, quantity(diff.baseline),
+                      quantity(diff.candidate), pct(diff.deltaPct),
+                      "±" + quantity(diff.limitPct) + "%",
+                      diff.regressed  ? "REGRESSED"
+                      : improved      ? "improved"
+                                      : "ok"});
+    }
+    table.print(std::cout,
+                "bench_diff: " + paths[0] + " -> " + paths[1] +
+                    " (" + std::to_string(diffs.size()) +
+                    " metrics compared)");
+    if (diffs.empty())
+        std::cout << "bench_diff: no comparable metrics "
+                     "(documents measure nothing in common)\n";
+    if (regressions > 0) {
+        std::cout << "bench_diff: " << regressions << " metric(s) "
+                  << "regressed beyond their noise threshold\n";
+        return 1;
+    }
+    std::cout << "bench_diff: no regressions\n";
+    return 0;
+}
