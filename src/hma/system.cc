@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.hh"
+#include "eventlog/eventlog.hh"
 #include "hma/core_model.hh"
 #include "telemetry/telemetry.hh"
 
@@ -251,6 +252,22 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
                         static_cast<double>(next_boundary -
                                             last_epoch) /
                         static_cast<double>(engine->interval()));
+                });
+                RAMP_EVLOG({
+                    eventlog::EventRecord record;
+                    record.kind = eventlog::EventKind::Epoch;
+                    record.policy = eventlog::policyIdFromName(
+                        engine->name());
+                    record.epoch = next_boundary;
+                    // Epoch records reuse the score fields as the
+                    // boundary's move counts (record.hh).
+                    record.hotness = static_cast<float>(
+                        decision.promotions.size());
+                    record.wrRatio = static_cast<float>(
+                        decision.evictions.size());
+                    record.avf = static_cast<float>(
+                        decision.swaps.size());
+                    eventlog::emit(record);
                 });
                 last_epoch = next_boundary;
                 applyDecision(placement, decision, next_boundary,

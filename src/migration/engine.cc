@@ -3,9 +3,39 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "eventlog/eventlog.hh"
 
 namespace ramp
 {
+
+namespace
+{
+
+/** Ledger record pre-filled with a migration move's common fields. */
+eventlog::EventRecord
+moveRecord(eventlog::EventKind kind, eventlog::PolicyId policy,
+           Cycle now, PageId page)
+{
+    eventlog::EventRecord record;
+    record.kind = kind;
+    record.policy = policy;
+    record.epoch = now;
+    record.page = page;
+    switch (kind) {
+      case eventlog::EventKind::Promote:
+      case eventlog::EventKind::SwapIn:
+        record.src = eventlog::Tier::Ddr;
+        record.dst = eventlog::Tier::Hbm;
+        break;
+      default:
+        record.src = eventlog::Tier::Hbm;
+        record.dst = eventlog::Tier::Ddr;
+        break;
+    }
+    return record;
+}
+
+} // namespace
 
 Cycle
 MigrationEngine::remapPenalty(PageId page)
@@ -89,6 +119,28 @@ PerfFocusedMigration::onInterval(Cycle now, const PlacementMap &map)
         decision.swaps.emplace_back(victims[v].first,
                                     candidates[candidate_idx].first);
     }
+
+    RAMP_EVLOG({
+        using eventlog::EventKind;
+        const auto policy = eventlog::PolicyId::PerfMigration;
+        const auto thresh = static_cast<float>(mean);
+        const auto scored = [&](EventKind kind, PageId page,
+                                PageId partner) {
+            auto record = moveRecord(kind, policy, now, page);
+            record.partner = partner;
+            const auto counts = counters_.countsOf(page);
+            record.hotness = static_cast<float>(counts.hotness());
+            record.wrRatio = static_cast<float>(counts.wrRatio());
+            record.threshHot = thresh;
+            eventlog::emit(record);
+        };
+        for (const PageId page : decision.promotions)
+            scored(EventKind::Promote, page, invalidPage);
+        for (const auto &[victim, incoming] : decision.swaps) {
+            scored(EventKind::SwapOut, victim, incoming);
+            scored(EventKind::SwapIn, incoming, victim);
+        }
+    });
 
     counters_.reset();
     return decision;
@@ -205,6 +257,32 @@ FcReliabilityMigration::onInterval(Cycle now, const PlacementMap &map)
         }
     }
 
+    RAMP_EVLOG({
+        using eventlog::EventKind;
+        const auto policy = eventlog::PolicyId::FcMigration;
+        const auto scored = [&](EventKind kind, PageId page,
+                                PageId partner) {
+            auto record = moveRecord(kind, policy, now, page);
+            record.partner = partner;
+            const auto counts = counters_.countsOf(page);
+            record.hotness = static_cast<float>(counts.hotness());
+            record.wrRatio = static_cast<float>(counts.wrRatio());
+            record.quadrant =
+                eventlog::quadrantOf(hot(counts), low_risk(counts));
+            record.threshHot = static_cast<float>(mean_hot);
+            record.threshRisk = static_cast<float>(mean_wr);
+            eventlog::emit(record);
+        };
+        for (const PageId page : decision.promotions)
+            scored(EventKind::Promote, page, invalidPage);
+        for (const auto &[victim, incoming] : decision.swaps) {
+            scored(EventKind::SwapOut, victim, incoming);
+            scored(EventKind::SwapIn, incoming, victim);
+        }
+        for (const PageId page : decision.evictions)
+            scored(EventKind::Evict, page, invalidPage);
+    });
+
     counters_.reset();
     return decision;
 }
@@ -280,9 +358,25 @@ CrossCounterMigration::onInterval(Cycle now, const PlacementMap &map)
             const bool cold =
                 static_cast<double>(counts.hotness()) <= mean_hot;
             if (risky &&
-                decision.evictions.size() < fcEvictCapPages_)
+                decision.evictions.size() < fcEvictCapPages_) {
                 decision.evictions.push_back(page);
-            else if (cold || risky)
+                RAMP_EVLOG({
+                    auto record = moveRecord(
+                        eventlog::EventKind::Evict,
+                        eventlog::PolicyId::CcMigration, now, page);
+                    record.hotness =
+                        static_cast<float>(counts.hotness());
+                    record.wrRatio =
+                        static_cast<float>(counts.wrRatio());
+                    record.quadrant = eventlog::quadrantOf(
+                        !cold, !risky);
+                    record.threshHot =
+                        static_cast<float>(mean_hot);
+                    record.threshRisk =
+                        static_cast<float>(riskMargin * mean_wr);
+                    eventlog::emit(record);
+                });
+            } else if (cold || risky)
                 pendingEvictions_.push_back(page);
         }
         riskCounters_.reset();
@@ -323,9 +417,30 @@ CrossCounterMigration::onInterval(Cycle now, const PlacementMap &map)
         if (free_frames > 0) {
             decision.promotions.push_back(page);
             --free_frames;
+            RAMP_EVLOG({
+                // MEA tracks recency, not counts: the promoted
+                // page's hotness is genuinely unmeasured.
+                eventlog::emit(moveRecord(
+                    eventlog::EventKind::Promote,
+                    eventlog::PolicyId::CcMigration, now, page));
+            });
         } else if ((pending = pending_victim()) != invalidPage) {
             decision.swaps.emplace_back(pending, page);
             used.insert(pending);
+            RAMP_EVLOG({
+                auto out = moveRecord(
+                    eventlog::EventKind::SwapOut,
+                    eventlog::PolicyId::CcMigration, now, pending);
+                out.partner = page;
+                out.hotness = static_cast<float>(
+                    riskCounters_.countsOf(pending).hotness());
+                eventlog::emit(out);
+                auto in = moveRecord(
+                    eventlog::EventKind::SwapIn,
+                    eventlog::PolicyId::CcMigration, now, page);
+                in.partner = pending;
+                eventlog::emit(in);
+            });
         } else {
             if (rotation.empty())
                 rotation = map.hbmPages();
@@ -360,6 +475,19 @@ CrossCounterMigration::onInterval(Cycle now, const PlacementMap &map)
                 break; // every slot pinned or freshly promoted
             decision.swaps.emplace_back(victim, page);
             used.insert(victim);
+            RAMP_EVLOG({
+                auto out = moveRecord(
+                    eventlog::EventKind::SwapOut,
+                    eventlog::PolicyId::CcMigration, now, victim);
+                out.partner = page;
+                out.hotness = static_cast<float>(victim_hotness);
+                eventlog::emit(out);
+                auto in = moveRecord(
+                    eventlog::EventKind::SwapIn,
+                    eventlog::PolicyId::CcMigration, now, page);
+                in.partner = victim;
+                eventlog::emit(in);
+            });
         }
         promotedThisRound_.insert(page);
         ++promoted;

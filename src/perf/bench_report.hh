@@ -66,6 +66,9 @@ struct BenchReportSpec
 
     BenchPassSummary passes;
 
+    /** Decision-ledger records accepted this run (0 = disabled). */
+    std::uint64_t eventRecords = 0;
+
     /** Microbenchmark rows (empty for figure binaries). */
     std::vector<BenchResult> microbenchmarks;
 };
@@ -107,6 +110,11 @@ struct DiffOptions
     double rssPct = 50;
     double percentilePct = 75;
     double microPct = 50;
+
+    /** Decision-ledger family (throughput.events_per_second and
+     * eventlog.* percentiles): the ledger's cost scales with how
+     * chatty the policies are, so its noise band is wider. */
+    double eventlogPct = 60;
 
     /** Multiplies every threshold (CLI --relax). */
     double relax = 1.0;

@@ -60,6 +60,55 @@ struct Parser
         return true;
     }
 
+    /** Parse exactly four hex digits of a \\uXXXX escape. */
+    bool hexQuad(unsigned long &code)
+    {
+        if (pos + 4 > text.size())
+            return fail("truncated \\u escape");
+        code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text[pos + i];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape");
+            code = (code << 4) | digit;
+        }
+        pos += 4;
+        return true;
+    }
+
+    /** Append a Unicode scalar value as UTF-8. */
+    static void appendUtf8(std::string &out, unsigned long code)
+    {
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(
+                static_cast<char>(0x80 | (code & 0x3f)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(
+                static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(
+                static_cast<char>(0x80 | (code & 0x3f)));
+        }
+    }
+
     bool parseString(std::string &out)
     {
         if (!consume('"'))
@@ -86,18 +135,28 @@ struct Parser
               case 'r': out.push_back('\r'); break;
               case 't': out.push_back('\t'); break;
               case 'u': {
-                  if (pos + 4 > text.size())
-                      return fail("truncated \\u escape");
-                  const std::string hex(text.substr(pos, 4));
-                  char *end = nullptr;
-                  const long code =
-                      std::strtol(hex.c_str(), &end, 16);
-                  if (end != hex.c_str() + 4)
-                      return fail("bad \\u escape");
-                  pos += 4;
-                  // Latin-1 subset is enough for our own emitters
-                  // (they only escape control characters).
-                  out.push_back(static_cast<char>(code & 0xff));
+                  unsigned long code = 0;
+                  if (!hexQuad(code))
+                      return false;
+                  if (code >= 0xd800 && code <= 0xdbff) {
+                      // High surrogate: a low surrogate must
+                      // follow for a valid supplementary-plane
+                      // character.
+                      if (pos + 2 > text.size() ||
+                          text[pos] != '\\' || text[pos + 1] != 'u')
+                          return fail("lone high surrogate");
+                      pos += 2;
+                      unsigned long low = 0;
+                      if (!hexQuad(low))
+                          return false;
+                      if (low < 0xdc00 || low > 0xdfff)
+                          return fail("bad low surrogate");
+                      code = 0x10000 + ((code - 0xd800) << 10) +
+                             (low - 0xdc00);
+                  } else if (code >= 0xdc00 && code <= 0xdfff) {
+                      return fail("lone low surrogate");
+                  }
+                  appendUtf8(out, code);
                   break;
               }
               default:

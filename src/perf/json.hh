@@ -8,8 +8,8 @@
  * This is a small recursive-descent parser over the full JSON
  * grammar (objects, arrays, strings with escapes, numbers, bools,
  * null) — sufficient for machine-written documents; it does not aim
- * to be a general-purpose library (no streaming, no \uXXXX
- * surrogate pairs beyond Latin-1).
+ * to be a general-purpose library (no streaming). \uXXXX escapes
+ * decode to UTF-8, including supplementary-plane surrogate pairs.
  */
 
 #ifndef RAMP_PERF_JSON_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "eventlog/eventlog.hh"
 
 namespace ramp
 {
@@ -29,19 +30,42 @@ PlacementMap
 fillFromOrder(const std::vector<std::pair<PageId, PageStats>> &order,
               const PageProfile &profile,
               std::uint64_t hbm_capacity_pages,
-              std::uint64_t hbm_target_pages)
+              std::uint64_t hbm_target_pages,
+              eventlog::PolicyId policy)
 {
     PlacementMap map(hbm_capacity_pages);
+    // Quadrant thresholds are computed once up front so the ledger
+    // branch costs nothing per page when recording is off.
+    float mean_hot = 0.0F;
+    float mean_avf = 0.0F;
+    RAMP_EVLOG({
+        mean_hot = static_cast<float>(profile.meanHotness());
+        mean_avf = static_cast<float>(profile.meanAvf());
+    });
     std::uint64_t placed = 0;
     for (const auto &[page, stats] : order) {
         if (placed >= hbm_target_pages)
             break;
         map.place(page, MemoryId::HBM);
         ++placed;
+        RAMP_EVLOG({
+            eventlog::EventRecord record;
+            record.kind = eventlog::EventKind::Place;
+            record.policy = policy;
+            record.dst = eventlog::Tier::Hbm;
+            record.page = page;
+            record.hotness = static_cast<float>(stats.hotness());
+            record.wrRatio = static_cast<float>(stats.wrRatio());
+            record.avf = static_cast<float>(stats.avf);
+            record.quadrant = eventlog::quadrantOf(
+                record.hotness > mean_hot, record.avf <= mean_avf);
+            record.threshHot = mean_hot;
+            record.threshRisk = mean_avf;
+            eventlog::emit(record);
+        });
     }
     // Remaining pages default to DDR; no explicit placement needed,
     // but touch them so frames exist deterministically.
-    (void)profile;
     return map;
 }
 
@@ -59,7 +83,8 @@ buildStaticPlacement(StaticPolicy policy, const PageProfile &profile,
         const auto order = profile.sortedByDescending(
             [](const PageStats &s) { return s.hotness(); });
         return fillFromOrder(order, profile, hbm_capacity_pages,
-                             hbm_capacity_pages);
+                             hbm_capacity_pages,
+                             eventlog::PolicyId::PerfFocused);
       }
 
       case StaticPolicy::ReliabilityFocused: {
@@ -67,7 +92,8 @@ buildStaticPlacement(StaticPolicy policy, const PageProfile &profile,
         const auto order = profile.sortedByDescending(
             [](const PageStats &s) { return 1.0 - s.avf; });
         return fillFromOrder(order, profile, hbm_capacity_pages,
-                             hbm_capacity_pages);
+                             hbm_capacity_pages,
+                             eventlog::PolicyId::RelFocused);
       }
 
       case StaticPolicy::Balanced: {
@@ -84,21 +110,24 @@ buildStaticPlacement(StaticPolicy policy, const PageProfile &profile,
                    entry.second.avf > mean_avf;
         });
         return fillFromOrder(order, profile, hbm_capacity_pages,
-                             hbm_capacity_pages);
+                             hbm_capacity_pages,
+                             eventlog::PolicyId::Balanced);
       }
 
       case StaticPolicy::WrRatio: {
         const auto order = profile.sortedByDescending(
             [](const PageStats &s) { return s.wrRatio(); });
         return fillFromOrder(order, profile, hbm_capacity_pages,
-                             hbm_capacity_pages);
+                             hbm_capacity_pages,
+                             eventlog::PolicyId::WrRatio);
       }
 
       case StaticPolicy::Wr2Ratio: {
         const auto order = profile.sortedByDescending(
             [](const PageStats &s) { return s.wr2Ratio(); });
         return fillFromOrder(order, profile, hbm_capacity_pages,
-                             hbm_capacity_pages);
+                             hbm_capacity_pages,
+                             eventlog::PolicyId::Wr2Ratio);
       }
     }
     ramp_panic("unknown static policy");
@@ -121,7 +150,8 @@ buildBalancedFilledPlacement(const PageProfile &profile,
                    entry.second.avf <= mean_avf;
         });
     return fillFromOrder(order, profile, hbm_capacity_pages,
-                         hbm_capacity_pages);
+                         hbm_capacity_pages,
+                         eventlog::PolicyId::Balanced);
 }
 
 PlacementMap
@@ -135,7 +165,8 @@ buildHotFractionPlacement(const PageProfile &profile,
         [](const PageStats &s) { return s.hotness(); });
     const auto target = static_cast<std::uint64_t>(
         fraction * static_cast<double>(hbm_capacity_pages));
-    return fillFromOrder(order, profile, hbm_capacity_pages, target);
+    return fillFromOrder(order, profile, hbm_capacity_pages, target,
+                         eventlog::PolicyId::HotFraction);
 }
 
 } // namespace ramp

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "eventlog/eventlog.hh"
 #include "runner/error.hh"
 #include "telemetry/telemetry.hh"
 
@@ -69,6 +70,7 @@ FaultSimConfig::hbmSecDed(double stacked_factor)
     config.chips = 1;
     config.dataBytes = 128ULL << 20; // one HBM channel of Table 1
     config.ecc = EccKind::SecDed;
+    config.tier = MemoryId::HBM;
     return config;
 }
 
@@ -134,10 +136,47 @@ FaultSim::drawFault(Rng &rng) const
     return fault;
 }
 
+namespace
+{
+
+/**
+ * Geometric page attribution of a fault: spread the rank's data
+ * bytes evenly across the (bank, row, column) word grid and map the
+ * fault's first affected word to its page. Wildcard coordinates
+ * (coarse modes) attribute to the first word they cover.
+ */
+PageId
+faultPage(const FaultRecord &fault, const ChipGeometry &geometry,
+          std::uint64_t data_bytes)
+{
+    const auto coord = [](std::uint64_t value) {
+        return value == faultWildcard ? 0 : value;
+    };
+    const std::uint64_t words = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(geometry.banks) *
+               geometry.rows * geometry.columns);
+    const std::uint64_t word =
+        (coord(fault.bank) * geometry.rows + coord(fault.row)) *
+            geometry.columns +
+        coord(fault.column);
+    const std::uint64_t word_bytes =
+        std::max<std::uint64_t>(1, data_bytes / words);
+    const std::uint64_t pages =
+        std::max<std::uint64_t>(1, data_bytes / pageSize);
+    return word * word_bytes / pageSize % pages;
+}
+
+} // namespace
+
 FaultSim::ShardCounts
-FaultSim::runShard(std::uint64_t trials, std::uint64_t seed) const
+FaultSim::runShard(std::uint64_t trials, std::uint64_t seed,
+                   std::uint64_t shard) const
 {
     RAMP_TELEM_SPAN(shard_span, "faultsim.shard", "reliability");
+    // Shard labels are schedule-independent, so ledger analyzers
+    // see identical fault streams at any --jobs width.
+    eventlog::RunScope events_scope(config_.name + "/shard" +
+                                    std::to_string(shard));
     Rng rng(seed);
     ShardCounts counts;
 
@@ -163,6 +202,23 @@ FaultSim::runShard(std::uint64_t trials, std::uint64_t seed) const
             break;
           case EccOutcome::Uncorrected:
             ++counts.uncorrected;
+            // Only the rare uncorrected trials put per-fault
+            // records in the ledger, keeping fault volume bounded
+            // while every reliability escape stays attributable.
+            RAMP_EVLOG({
+                for (const FaultRecord &fault : faults) {
+                    eventlog::EventRecord record;
+                    record.kind = eventlog::EventKind::Fault;
+                    record.policy = eventlog::PolicyId::FaultSim;
+                    record.dst = eventlog::tierOf(config_.tier);
+                    record.detail = static_cast<std::uint8_t>(
+                        fault.mode);
+                    record.epoch = trial;
+                    record.page = faultPage(fault, config_.geometry,
+                                            config_.dataBytes);
+                    eventlog::emit(record);
+                }
+            });
             break;
         }
     }
@@ -195,7 +251,8 @@ FaultSim::run(std::uint64_t trials, std::uint64_t seed,
         const std::uint64_t first = shard * shardTrials;
         const std::uint64_t size =
             std::min(shardTrials, trials - first);
-        return runShard(size, runner::taskSeed(seed, shard));
+        return runShard(size, runner::taskSeed(seed, shard),
+                        shard);
     };
 
     std::vector<ShardCounts> per_shard;

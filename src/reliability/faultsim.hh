@@ -25,6 +25,7 @@
 #include <string>
 
 #include "common/rng.hh"
+#include "common/types.hh"
 #include "reliability/ecc.hh"
 #include "reliability/fit.hh"
 #include "runner/pool.hh"
@@ -52,6 +53,9 @@ struct FaultSimConfig
 
     /** Correction scheme of the rank's controller. */
     EccKind ecc = EccKind::ChipKill;
+
+    /** HMA tier this rank backs (decision-ledger attribution). */
+    MemoryId tier = MemoryId::DDR;
 
     /** Simulated horizon per trial, in hours (default 5 years). */
     double hours = 5.0 * 365 * 24;
@@ -136,8 +140,8 @@ class FaultSim
         std::uint64_t faults = 0;
     };
 
-    ShardCounts runShard(std::uint64_t trials,
-                         std::uint64_t seed) const;
+    ShardCounts runShard(std::uint64_t trials, std::uint64_t seed,
+                         std::uint64_t shard) const;
 
     FaultSimConfig config_;
 };

@@ -7,8 +7,11 @@
 
 #include <sstream>
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "eventlog/eventlog.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp::runner
@@ -118,6 +121,12 @@ Harness::Harness(std::string tool, RunnerOptions options)
     }
     if (!options_.benchPath.empty())
         sampler_ = std::make_unique<perf::ResourceSampler>();
+    if (!options_.eventsPath.empty()) {
+        eventlog::setEnabled(true);
+        if (const char *env = std::getenv("RAMP_EVENTS_LIMIT"))
+            eventlog::setCapacity(
+                std::strtoull(env, nullptr, 10));
+    }
     if (!options_.cacheDir.empty())
         cache_.setDiskDir(options_.cacheDir);
     if (!options_.checkpointDir.empty())
@@ -197,6 +206,16 @@ Harness::runPassesImpl(const std::vector<PassDesc> &descs,
         RAMP_TELEM_SPAN(
             pass_span, "pass", "runner",
             telemetry::traceArg("workload", desc.workload));
+        // Ledger run label: "<workload>/<pass label>". The label
+        // half of the checkpoint key is unique per (workload,
+        // pass) and schedule-independent, so analyzers can sort
+        // runs deterministically at any --jobs width.
+        const std::size_t label_at = desc.key.find('/');
+        eventlog::RunScope events_scope(
+            desc.workload + "/" +
+            (label_at == std::string::npos
+                 ? desc.key
+                 : desc.key.substr(label_at + 1)));
         std::optional<Watchdog::Scope> scope;
         if (watchdog_ != nullptr)
             scope.emplace(watchdog_->watch(desc.key));
@@ -316,6 +335,7 @@ Harness::benchJson()
         if (pass.seconds > 0)
             spec.passes.seconds.add(pass.seconds);
     }
+    spec.eventRecords = eventlog::stats().recorded;
     spec.microbenchmarks = microResults_;
     return perf::renderBenchReport(spec);
 }
@@ -342,9 +362,46 @@ Harness::finish()
     }
 
     int code = failures.empty() ? 0 : 3;
+    std::optional<EventsInfo> events_info;
+    if (!options_.eventsPath.empty()) {
+        if (atomicWriteFile(options_.eventsPath,
+                            eventlog::toJsonl(tool_))) {
+            const auto stats = eventlog::stats();
+            events_info = EventsInfo{options_.eventsPath,
+                                     stats.recorded, stats.dropped};
+        } else {
+            std::fprintf(stderr,
+                         "%s: cannot write events file to %s\n",
+                         tool_.c_str(), options_.eventsPath.c_str());
+            code = 1;
+        }
+    }
+    if (cancellationRequested() && eventlog::enabled()) {
+        // Post-mortem: park the trailing window of the ledger next
+        // to the events file (or under the tool's name when none
+        // was requested) so an interrupted campaign leaves its
+        // final decisions behind for inspection.
+        std::size_t window = 256;
+        if (const char *env = std::getenv("RAMP_EVENTS_DUMP"))
+            window = std::strtoull(env, nullptr, 10);
+        const std::string path =
+            options_.eventsPath.empty()
+                ? tool_ + ".postmortem.jsonl"
+                : options_.eventsPath + ".postmortem";
+        if (window > 0 &&
+            !atomicWriteFile(
+                path, eventlog::postMortemJsonl(tool_, window))) {
+            std::fprintf(stderr,
+                         "%s: cannot write post-mortem dump to "
+                         "%s\n",
+                         tool_.c_str(), path.c_str());
+            code = 1;
+        }
+    }
     if (!options_.jsonPath.empty() &&
         !report_.writeJson(options_.jsonPath, pool_.jobs(),
-                           cache_.stats())) {
+                           cache_.stats(),
+                           events_info ? &*events_info : nullptr)) {
         std::fprintf(stderr, "%s: cannot write JSON report to %s\n",
                      tool_.c_str(), options_.jsonPath.c_str());
         code = 1;

@@ -92,6 +92,8 @@ RunnerOptions::parse(int argc, char **argv)
         options.tracePath = env;
     if (const char *env = std::getenv("RAMP_BENCH_OUT"))
         options.benchPath = env;
+    if (const char *env = std::getenv("RAMP_EVENTS_OUT"))
+        options.eventsPath = env;
     if (const char *env = std::getenv("RAMP_CACHE_DIR"))
         options.cacheDir = env;
     if (const char *env = std::getenv("RAMP_CHECKPOINT"))
@@ -129,6 +131,8 @@ RunnerOptions::parse(int argc, char **argv)
             options.tracePath = value("--trace-out");
         } else if (arg == "--bench-out") {
             options.benchPath = value("--bench-out");
+        } else if (arg == "--events-out") {
+            options.eventsPath = value("--events-out");
         } else if (arg == "--cache-dir") {
             options.cacheDir = value("--cache-dir");
         } else if (arg == "--checkpoint") {
@@ -156,6 +160,8 @@ RunnerOptions::flagsHelp()
            "(env RAMP_TRACE_OUT)\n"
            "  --bench-out PATH  write a BENCH_<tool>.json "
            "performance report (env RAMP_BENCH_OUT)\n"
+           "  --events-out PATH  write the decision ledger as "
+           "JSONL (env RAMP_EVENTS_OUT)\n"
            "  --cache-dir D   persist profiling passes on disk "
            "(env RAMP_CACHE_DIR)\n"
            "  --checkpoint D  journal completed passes; resume a "
@@ -254,7 +260,8 @@ jsonNumber(double value)
 
 bool
 Report::writeJson(const std::string &path, unsigned jobs,
-                  const ProfileCacheStats &cache_stats) const
+                  const ProfileCacheStats &cache_stats,
+                  const EventsInfo *events) const
 {
     std::ostringstream out;
     const auto passes = this->passes();
@@ -267,8 +274,15 @@ Report::writeJson(const std::string &path, unsigned jobs,
         << "    \"disk_hits\": " << cache_stats.diskHits << ",\n"
         << "    \"misses\": " << cache_stats.misses << ",\n"
         << "    \"disk_writes\": " << cache_stats.diskWrites << "\n"
-        << "  },\n"
-        << "  \"passes\": [\n";
+        << "  },\n";
+    if (events != nullptr)
+        out << "  \"events\": {\n"
+            << "    \"path\": \"" << jsonEscape(events->path)
+            << "\",\n"
+            << "    \"records\": " << events->records << ",\n"
+            << "    \"dropped\": " << events->dropped << "\n"
+            << "  },\n";
+    out << "  \"passes\": [\n";
     for (std::size_t i = 0; i < passes.size(); ++i) {
         const auto &pass = passes[i];
         const auto &r = pass.result;

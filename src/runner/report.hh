@@ -97,6 +97,9 @@ struct RunnerOptions
     /** BENCH_<tool>.json target ("" = no bench report). */
     std::string benchPath;
 
+    /** Decision-ledger JSONL target ("" = no events file). */
+    std::string eventsPath;
+
     /** On-disk profile-cache directory ("" = memory-only). */
     std::string cacheDir;
 
@@ -111,11 +114,12 @@ struct RunnerOptions
 
     /**
      * Parse --jobs N, --json PATH, --metrics-out PATH, --trace-out
-     * PATH, --bench-out PATH, --cache-dir PATH, --checkpoint DIR,
-     * and --pass-timeout S from argv (with RAMP_JOBS / RAMP_JSON /
-     * RAMP_METRICS_OUT / RAMP_TRACE_OUT / RAMP_BENCH_OUT /
-     * RAMP_CACHE_DIR / RAMP_CHECKPOINT / RAMP_PASS_TIMEOUT
-     * environment fallbacks); everything else lands in positional.
+     * PATH, --bench-out PATH, --events-out PATH, --cache-dir PATH,
+     * --checkpoint DIR, and --pass-timeout S from argv (with
+     * RAMP_JOBS / RAMP_JSON / RAMP_METRICS_OUT / RAMP_TRACE_OUT /
+     * RAMP_BENCH_OUT / RAMP_EVENTS_OUT / RAMP_CACHE_DIR /
+     * RAMP_CHECKPOINT / RAMP_PASS_TIMEOUT environment fallbacks);
+     * everything else lands in positional.
      * Throws PassError(Usage) on a malformed flag — the binary
      * decides the exit code.
      */
@@ -123,6 +127,19 @@ struct RunnerOptions
 
     /** Usage text of the flags parse() consumes. */
     static const char *flagsHelp();
+};
+
+/** Decision-ledger summary stamped into the JSON document. */
+struct EventsInfo
+{
+    /** Events-file path as requested (--events-out). */
+    std::string path;
+
+    /** Records written to the events file. */
+    std::uint64_t records = 0;
+
+    /** Records dropped at the RAMP_EVENTS_LIMIT capacity cap. */
+    std::uint64_t dropped = 0;
 };
 
 /** One recorded simulation pass. */
@@ -168,12 +185,14 @@ class Report
 
     /**
      * Write the JSON document: tool, jobs, per-pass metrics and
-     * status, and the profile-cache counters. The write is atomic
+     * status, the profile-cache counters, and (when an events file
+     * was written) the decision-ledger summary. The write is atomic
      * (unique temp file + rename), so a crash never leaves a torn
      * report. Returns false when the file cannot be written.
      */
     bool writeJson(const std::string &path, unsigned jobs,
-                   const ProfileCacheStats &cache_stats) const;
+                   const ProfileCacheStats &cache_stats,
+                   const EventsInfo *events = nullptr) const;
 
   private:
     std::string tool_;

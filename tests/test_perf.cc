@@ -191,6 +191,42 @@ TEST(Json, ParsesScalarsContainersAndEscapes)
     EXPECT_EQ(doc.stringOr("c", ""), "x\n\"yA");
 }
 
+TEST(Json, DecodesUnicodeEscapesAsUtf8)
+{
+    JsonValue doc;
+    std::string error;
+    // ASCII, 2-byte, 3-byte, and a surrogate pair (4-byte):
+    // A, e-acute, euro sign, and an emoji outside the BMP.
+    ASSERT_TRUE(perf::parseJson(
+        "{\"s\": \"\\u0041\\u00e9\\u20ac\\ud83d\\ude00\"}", doc,
+        error))
+        << error;
+    EXPECT_EQ(doc.stringOr("s", ""),
+              "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+    // Upper-case hex digits decode identically.
+    ASSERT_TRUE(
+        perf::parseJson("[\"\\u20AC\"]", doc, error))
+        << error;
+    EXPECT_EQ(doc.array.at(0).string, "\xe2\x82\xac");
+}
+
+TEST(Json, RejectsBrokenUnicodeEscapes)
+{
+    JsonValue doc;
+    std::string error;
+    // Non-hex digit.
+    EXPECT_FALSE(perf::parseJson(R"(["\u12zf"])", doc, error));
+    // Truncated escape at end of input.
+    EXPECT_FALSE(perf::parseJson(R"(["\u12)", doc, error));
+    // High surrogate with no low surrogate after it.
+    EXPECT_FALSE(perf::parseJson(R"(["\ud83dx"])", doc, error));
+    // High surrogate followed by a non-surrogate escape.
+    EXPECT_FALSE(perf::parseJson(R"(["\ud83dA"])", doc, error));
+    // Low surrogate on its own.
+    EXPECT_FALSE(perf::parseJson(R"(["\ude00"])", doc, error));
+    EXPECT_FALSE(error.empty());
+}
+
 TEST(Json, RejectsMalformedAndTrailingGarbage)
 {
     JsonValue doc;

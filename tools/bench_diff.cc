@@ -43,6 +43,8 @@ usage()
         "(default 75)\n"
         "  --micro-pct P     microbenchmark threshold "
         "(default 50)\n"
+        "  --eventlog-pct P  decision-ledger threshold "
+        "(default 60)\n"
         "\n"
         "Exit: 0 ok, 1 regression, 2 usage/unreadable input.\n");
 }
@@ -120,6 +122,9 @@ main(int argc, char **argv)
         } else if (arg == "--micro-pct") {
             options.microPct =
                 parsePositive("--micro-pct", value("--micro-pct"));
+        } else if (arg == "--eventlog-pct") {
+            options.eventlogPct = parsePositive(
+                "--eventlog-pct", value("--eventlog-pct"));
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "bench_diff: unknown flag '%s'\n",
