@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Ablation: region-granularity placement and migration vs the
+ * per-page policies.
+ *
+ * Three passes per workload: the paper's balanced static placement
+ * at page granularity (the Section 5 reference), the same policy
+ * decided over profile-seeded regions (buildRegionStaticPlacement),
+ * and the dynamic region engine (adaptive merge/split monitor plus
+ * declarative schemes). Quantifies what coarsening the placement
+ * unit costs in IPC/SER against what it saves in tracked metadata
+ * (the region engine's hardware cost is bounded by the region
+ * budget, not the footprint).
+ *
+ * Flags (in addition to the shared harness flags):
+ *   --regions N   RegionMonitor maxRegions (default 256)
+ *   --scheme S    scheme list for the dynamic pass
+ *                 (default: the balanced quadrant schemes)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "eventlog/eventlog.hh"
+
+using namespace ramp;
+using namespace ramp::bench;
+
+namespace
+{
+
+struct AblationOptions
+{
+    std::uint64_t maxRegions = 256;
+    std::vector<RegionScheme> schemes;
+};
+
+AblationOptions
+parseAblationOptions(const std::vector<std::string> &positional)
+{
+    AblationOptions options;
+    options.schemes = defaultRegionSchemes();
+    for (std::size_t i = 0; i < positional.size(); ++i) {
+        const std::string &arg = positional[i];
+        auto value = [&](const char *flag) -> const std::string & {
+            if (i + 1 >= positional.size()) {
+                std::cerr << "ablation_region: " << flag
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return positional[++i];
+        };
+        if (arg == "--regions") {
+            const std::string &text = value("--regions");
+            char *end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0' || parsed == 0) {
+                std::cerr << "ablation_region: --regions needs a "
+                             "positive integer, got '"
+                          << text << "'\n";
+                std::exit(2);
+            }
+            options.maxRegions = parsed;
+        } else if (arg == "--scheme") {
+            std::string error;
+            options.schemes =
+                parseRegionSchemes(value("--scheme"), error);
+            if (!error.empty()) {
+                std::cerr << "ablation_region: --scheme: " << error
+                          << "\n";
+                std::exit(2);
+            }
+        } else {
+            std::cerr << "ablation_region: unknown argument '" << arg
+                      << "'\n";
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain("ablation_region", [&] {
+        Harness harness("ablation_region", argc, argv);
+        const SystemConfig &config = harness.config();
+        const AblationOptions options =
+            parseAblationOptions(harness.options().positional);
+
+        RegionConfig region_config;
+        region_config.maxRegions = options.maxRegions;
+        region_config.minRegions = std::min<std::uint64_t>(
+            region_config.minRegions, options.maxRegions);
+
+        const auto profiled = harness.profileAll(standardWorkloads());
+
+        struct Passes
+        {
+            SimResult page;
+            SimResult region;
+            SimResult dynamic;
+        };
+        const auto passes = harness.mapWorkloads(
+            profiled, [&](const ProfiledWorkloadPtr &wl) {
+                // mapWorkloads does not label ledger runs the way
+                // runPasses does; scope each pass explicitly so the
+                // region records sort schedule-independently.
+                Passes out;
+                {
+                    eventlog::RunScope scope(wl->name() +
+                                             "/balanced-page");
+                    out.page = runStaticPolicy(
+                        config, wl->data, StaticPolicy::Balanced,
+                        wl->profile());
+                }
+                {
+                    eventlog::RunScope scope(wl->name() +
+                                             "/balanced-region");
+                    out.region = runRegionStatic(
+                        config, wl->data, StaticPolicy::Balanced,
+                        wl->profile(), region_config);
+                }
+                {
+                    eventlog::RunScope scope(wl->name() +
+                                             "/region-migration");
+                    out.dynamic = runRegionDynamic(
+                        config, wl->data, wl->profile(),
+                        region_config, options.schemes);
+                }
+                return out;
+            });
+
+        TextTable table({"workload", "page IPC", "region IPC",
+                         "page SER", "region SER", "dyn IPC",
+                         "dyn SER", "dyn moved"});
+        RatioColumn ipc_cost, ser_cost;
+
+        for (std::size_t i = 0; i < profiled.size(); ++i) {
+            const auto &wl = *profiled[i];
+            const auto &page =
+                harness.record(wl.name(), passes[i].page);
+            const auto &region =
+                harness.record(wl.name(), passes[i].region);
+            const auto &dynamic =
+                harness.record(wl.name(), passes[i].dynamic);
+
+            ipc_cost.add(region.ipc / page.ipc);
+            ser_cost.add(region.ser / page.ser);
+            table.addRow({
+                wl.name(),
+                TextTable::ratio(page.ipc / wl.base.ipc),
+                TextTable::ratio(region.ipc / wl.base.ipc),
+                TextTable::ratio(page.ser / wl.base.ser, 1),
+                TextTable::ratio(region.ser / wl.base.ser, 1),
+                TextTable::ratio(dynamic.ipc / wl.base.ipc),
+                TextTable::ratio(dynamic.ser / wl.base.ser, 1),
+                TextTable::num(dynamic.migratedPages),
+            });
+        }
+        table.print(std::cout,
+                    "Ablation: balanced placement at region "
+                    "granularity (" +
+                        TextTable::num(options.maxRegions) +
+                        " regions max)");
+        std::cout << "\nregion vs page static: IPC "
+                  << TextTable::ratio(ipc_cost.mean())
+                  << ", SER " << TextTable::ratio(ser_cost.mean(), 2)
+                  << "\n";
+        return harness.finish();
+    });
+}

@@ -36,10 +36,12 @@ profileStructures(const WorkloadLayout &layout,
         entry.pages += range.pages;
         for (PageId page = range.firstPage; page < range.endPage();
              ++page) {
-            const auto stats = profile.statsOf(page);
-            entry.reads += stats.reads;
-            entry.writes += stats.writes;
-            avf_sum[key] += stats.avf;
+            const PageStats *stats = profile.find(page);
+            if (stats == nullptr)
+                continue;
+            entry.reads += stats->reads;
+            entry.writes += stats->writes;
+            avf_sum[key] += stats->avf;
         }
     }
 

@@ -14,6 +14,9 @@ eventKindName(EventKind kind)
       case EventKind::SwapOut: return "swap-out";
       case EventKind::Epoch: return "epoch";
       case EventKind::Fault: return "fault";
+      case EventKind::Region: return "region";
+      case EventKind::RegionMerge: return "region-merge";
+      case EventKind::RegionSplit: return "region-split";
     }
     return "?";
 }
@@ -35,6 +38,7 @@ policyIdName(PolicyId policy)
       case PolicyId::FcMigration: return "fc-migration";
       case PolicyId::CcMigration: return "cc-migration";
       case PolicyId::FaultSim: return "faultsim";
+      case PolicyId::RegionMigration: return "region-migration";
     }
     return "?";
 }
@@ -45,7 +49,8 @@ policyIdFromName(std::string_view name)
     // Every known id round-trips through its own name; novel
     // policy strings degrade to Unknown rather than erroring so
     // third-party engines can still be logged.
-    for (int i = 0; i <= static_cast<int>(PolicyId::FaultSim); ++i) {
+    for (int i = 0;
+         i <= static_cast<int>(PolicyId::RegionMigration); ++i) {
         const auto id = static_cast<PolicyId>(i);
         if (name == policyIdName(id))
             return id;
@@ -74,6 +79,16 @@ quadrantName(Quadrant quadrant)
       case Quadrant::ColdLowRisk: return "cold-low";
       case Quadrant::ColdHighRisk: return "cold-high";
     }
+    return "?";
+}
+
+const char *
+regionActionName(std::uint8_t detail)
+{
+    static const char *const names[] = {"none", "promote", "demote",
+                                        "pin", "place"};
+    if (detail < sizeof(names) / sizeof(names[0]))
+        return names[detail];
     return "?";
 }
 

@@ -53,6 +53,15 @@ enum class EventKind : std::uint8_t
 
     /** FaultSim fault landing attributed to a page/tier. */
     Fault,
+
+    /** Scheme action applied to a whole region (span move/pin). */
+    Region,
+
+    /** Monitor merged a neighbour region into this one. */
+    RegionMerge,
+
+    /** Monitor split this region; partner is the new right half. */
+    RegionSplit,
 };
 
 /** Stable lower-case name ("place", "promote", ...). */
@@ -74,6 +83,7 @@ enum class PolicyId : std::uint8_t
     FcMigration,
     CcMigration,
     FaultSim,
+    RegionMigration,
 };
 
 /** Stable name, matching policyName()/engine name() spellings. */
@@ -112,6 +122,12 @@ enum class Quadrant : std::uint8_t
 
 /** Stable name ("hot-low", "hot-high", "cold-low", "cold-high"). */
 const char *quadrantName(Quadrant quadrant);
+
+/**
+ * Scheme-action spelling of a Region record's `detail` field
+ * ("none", "promote", "demote", "pin", "place").
+ */
+const char *regionActionName(std::uint8_t detail);
 
 /** Classify a page from its hot/low-risk verdicts. */
 constexpr Quadrant
@@ -161,6 +177,15 @@ struct EventRecord
 
     /** Swap partner page (invalidPage when unpaired). */
     PageId partner = invalidPage;
+
+    /** @{ @name Region records (Region/RegionMerge/RegionSplit) */
+    /** Region index at decision time. */
+    std::uint32_t region = 0;
+    /** Page span of the (surviving/left) region. */
+    std::uint32_t span = 0;
+    /** Pages actually moved by a Region scheme action. */
+    std::uint32_t moved = 0;
+    /** @} */
 
     /** @{ @name Score inputs (Epoch: promoted/evicted/swapped) */
     float hotness = unmeasured;

@@ -29,6 +29,47 @@
 namespace ramp
 {
 
+/** What a scheme asks to happen to a whole region. */
+enum class RegionAction : std::uint8_t
+{
+    None,
+    Promote, ///< move the span DDR -> HBM
+    Demote,  ///< move the span HBM -> DDR
+    Pin,     ///< promote, then pin where it lands
+    Place,   ///< initial bulk placement of the span
+};
+
+/** Stable lower-case spelling ("promote", "demote", ...). */
+const char *regionActionName(RegionAction action);
+
+/**
+ * One region-granularity operation: a whole contiguous span moves
+ * (or pins) as a single batch through PlacementMap::moveRange.
+ */
+struct RegionOp
+{
+    /** First page of the span. */
+    PageId first = 0;
+
+    /** Page count of the span. */
+    std::uint64_t pages = 0;
+
+    /** Region index at decision time (for the ledger). */
+    std::uint32_t region = 0;
+
+    RegionAction action = RegionAction::None;
+
+    /** @{ @name Score inputs at decision time (for the ledger) */
+    float density = 0;
+    float avf = 0;
+    /** @} */
+
+    /** @{ @name Thresholds the decision compared against */
+    float threshHot = 0;
+    float threshRisk = 0;
+    /** @} */
+};
+
 /** Page moves an engine requests at an interval boundary. */
 struct MigrationDecision
 {
@@ -41,17 +82,28 @@ struct MigrationDecision
     /** Unpaired DDR -> HBM moves into free frames. */
     std::vector<PageId> promotions;
 
-    /** Total pages that cross the HMA. */
+    /**
+     * Region-granularity batch ops (empty in page mode). Applied in
+     * order after the page lists; the emitting scheme engine orders
+     * demotions first so they free capacity for the promotions.
+     */
+    std::vector<RegionOp> regionOps;
+
+    /** Total pages that cross the HMA (upper bound for regions). */
     std::uint64_t pagesMoved() const
     {
-        return 2 * swaps.size() + evictions.size() +
-               promotions.size();
+        std::uint64_t moved = 2 * swaps.size() + evictions.size() +
+                              promotions.size();
+        for (const RegionOp &op : regionOps)
+            if (op.action != RegionAction::None)
+                moved += op.pages;
+        return moved;
     }
 
     bool empty() const
     {
         return swaps.empty() && evictions.empty() &&
-               promotions.empty();
+               promotions.empty() && regionOps.empty();
     }
 };
 

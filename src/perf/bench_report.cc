@@ -1,5 +1,6 @@
 #include "perf/bench_report.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -317,6 +318,16 @@ compareBenchReports(const JsonValue &baseline,
                        options.microPct * relax, true,
                        options.minPerSecond);
         }
+    }
+
+    if (!options.families.empty()) {
+        std::erase_if(diffs, [&](const MetricDiff &diff) {
+            return std::none_of(
+                options.families.begin(), options.families.end(),
+                [&](const std::string &family) {
+                    return diff.name.rfind(family, 0) == 0;
+                });
+        });
     }
     return diffs;
 }

@@ -119,6 +119,14 @@ struct DiffOptions
     /** Multiplies every threshold (CLI --relax). */
     double relax = 1.0;
 
+    /**
+     * Metric-name prefix filters (CLI --family, repeatable). When
+     * non-empty, only metrics whose dotted name starts with one of
+     * these prefixes are compared — so one family (e.g. "micro.") can
+     * be gated or relaxed independently of the others.
+     */
+    std::vector<std::string> families;
+
     /** @{ @name Noise floors: skip metrics too small to compare */
     double minSeconds = 1e-3;
     double minBytes = 16.0 * 1024 * 1024;

@@ -72,6 +72,46 @@ class PlacementMap
     /** Pages currently resident in HBM. */
     std::vector<PageId> hbmPages() const;
 
+    /** @{ @name Range/batch operations (region granularity)
+     *
+     * A region op is one batch, not N independent page moves: the
+     * capacity budget is computed once per call, already-resident
+     * and pinned pages are skipped, and a full destination yields a
+     * partial-success count instead of the single-page fatal path.
+     */
+
+    /**
+     * The pages of [first, first+pages) that moveRange(dst) would
+     * move right now: resident in the other tier, not pinned, and
+     * within the destination's remaining capacity. Pure peek — the
+     * simulator uses it to capture source addresses before the move.
+     */
+    std::vector<PageId> movablePages(PageId first,
+                                     std::uint64_t pages,
+                                     MemoryId dst) const;
+
+    /**
+     * Move every movable page of the span into dst.
+     * @return pages actually moved (partial when HBM fills)
+     */
+    std::uint64_t moveRange(PageId first, std::uint64_t pages,
+                            MemoryId dst);
+
+    /**
+     * Initial bulk placement: place the span's not-yet-placed pages
+     * in mem until capacity runs out.
+     * @return pages actually placed
+     */
+    std::uint64_t placeRange(PageId first, std::uint64_t pages,
+                             MemoryId mem);
+
+    /**
+     * Pin the span where it currently resides.
+     * @return pages newly pinned
+     */
+    std::uint64_t pinRange(PageId first, std::uint64_t pages);
+    /** @} */
+
     /** @{ @name Capacity */
     std::uint64_t hbmCapacityPages() const { return hbmCapacity_; }
     std::uint64_t hbmUsedPages() const { return hbmUsed_; }

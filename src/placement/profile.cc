@@ -42,8 +42,15 @@ PageProfile::setStats(PageId page, const PageStats &stats)
 PageStats
 PageProfile::statsOf(PageId page) const
 {
+    const PageStats *stats = find(page);
+    return stats == nullptr ? PageStats{} : *stats;
+}
+
+const PageStats *
+PageProfile::find(PageId page) const
+{
     const auto it = pages_.find(page);
-    return it == pages_.end() ? PageStats{} : it->second;
+    return it == pages_.end() ? nullptr : &it->second;
 }
 
 double

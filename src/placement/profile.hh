@@ -57,6 +57,16 @@ class PageProfile
     /** Stats of one page (zeros when untouched). */
     PageStats statsOf(PageId page) const;
 
+    /**
+     * Stats of one page without the copy (nullptr when untouched).
+     * The hot ranking/filter loops use this to avoid churning a
+     * PageStats copy per probe.
+     */
+    const PageStats *find(PageId page) const;
+
+    /** Pre-size the table for an expected footprint (rehash once). */
+    void reserve(std::size_t pages) { pages_.reserve(pages); }
+
     /** The underlying page table. */
     const std::unordered_map<PageId, PageStats> &pages() const
     {

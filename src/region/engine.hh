@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Region-granularity migration and static placement.
+ *
+ * RegionMigrationEngine plugs the RegionMonitor + SchemeEngine pair
+ * into the MigrationEngine interface the HMA simulator drives: every
+ * demand access is folded into the bounded region set, and each
+ * interval boundary adapts the regions (merge/split) and evaluates
+ * the declarative schemes into region-level batch ops. Page mode
+ * (no region engine) remains the default everywhere and is untouched
+ * by this layer.
+ *
+ * buildRegionStaticPlacement is the region twin of the Section 4-5
+ * static quadrant policies: it ranks *regions* (seeded from the
+ * profiling pass) by the policy's metric and bulk-places them until
+ * the HBM fills. With `maxRegions >= footprint` every region is one
+ * page and the decisions match buildStaticPlacement exactly.
+ */
+
+#ifndef RAMP_REGION_ENGINE_HH
+#define RAMP_REGION_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "migration/engine.hh"
+#include "placement/policies.hh"
+#include "region/region.hh"
+#include "region/scheme.hh"
+
+namespace ramp
+{
+
+/** Region-granularity dynamic migration (monitor + schemes). */
+class RegionMigrationEngine : public MigrationEngine
+{
+  public:
+    /**
+     * @param interval_cycles epoch length (adaptation + schemes)
+     * @param config monitor knobs (budget, merge delta, decay)
+     * @param schemes ordered declarative rules to evaluate
+     */
+    RegionMigrationEngine(Cycle interval_cycles,
+                          const RegionConfig &config,
+                          std::vector<RegionScheme> schemes);
+
+    /** Seed the monitor from a profiling pass (preferred). */
+    void seedFromProfile(const PageProfile &profile);
+
+    /** Seed the monitor with a flat footprint span. */
+    void seedFootprint(PageId first, std::uint64_t pages);
+
+    const char *name() const override { return "region-migration"; }
+    void onAccess(PageId page, bool is_write, MemoryId mem) override;
+    Cycle interval() const override { return interval_; }
+    MigrationDecision onInterval(Cycle now,
+                                 const PlacementMap &map) override;
+    std::uint64_t
+    hardwareCostBytes(std::uint64_t total_pages,
+                      std::uint64_t hbm_pages) const override;
+
+    const RegionMonitor &monitor() const { return monitor_; }
+    const SchemeEngine &schemes() const { return schemes_; }
+
+  private:
+    Cycle interval_;
+    RegionMonitor monitor_;
+    SchemeEngine schemes_;
+};
+
+/**
+ * The default scheme list: the paper's balanced quadrant policy at
+ * region granularity ("promote:hot,lowrisk,quota=4;
+ * demote:highrisk,quota=4;demote:cold,age>=2,quota=4").
+ */
+std::vector<RegionScheme> defaultRegionSchemes();
+
+/**
+ * Build a static placement at region granularity: seed regions from
+ * the profile, rank them by the policy's metric (density, 1-AVF,
+ * Wr/Wr^2 of the aggregates; Balanced restricts to the hot &
+ * low-risk quadrant using the *profile's* Fig 4 thresholds), and
+ * bulk-place winners until HBM fills. Emits one Region ledger record
+ * per placed region.
+ */
+PlacementMap buildRegionStaticPlacement(
+    StaticPolicy policy, const PageProfile &profile,
+    const RegionConfig &config, std::uint64_t hbm_capacity_pages);
+
+} // namespace ramp
+
+#endif // RAMP_REGION_ENGINE_HH

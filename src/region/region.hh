@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Adaptive region-based access monitoring (DAMON-style).
+ *
+ * Per-page metadata is the scalability ceiling of the simulator: at
+ * datacenter footprints (millions of 4 KB pages) the tracking
+ * dominates the work. The RegionMonitor keeps a *bounded* set of
+ * address-contiguous regions instead: each access lands in the
+ * region covering its page (binary search over a sorted span table,
+ * no hashing, no allocation), and each epoch the region set adapts —
+ * adjacent regions with similar access density merge, large regions
+ * split at their midpoint so divergent halves can drift apart, and
+ * the total count is clamped to [minRegions, maxRegions].
+ *
+ * Aggregate read/write/AVF statistics are conserved exactly across
+ * merges and splits (merges sum, splits apportion by page count with
+ * the remainder kept on the left half), so region-granularity
+ * policies see the same total traffic a per-page profile would.
+ *
+ * Every merge and split can be recorded in the decision ledger
+ * (eventlog RegionMerge/RegionSplit records) and counted in
+ * telemetry (region.merges / region.splits / region.count).
+ */
+
+#ifndef RAMP_REGION_REGION_HH
+#define RAMP_REGION_REGION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "placement/profile.hh"
+
+namespace ramp
+{
+
+/** Knobs of the adaptive region monitor. */
+struct RegionConfig
+{
+    /** Region-count floor: merging never shrinks the set below. */
+    std::uint64_t minRegions = 16;
+
+    /** Region-count budget: the tracked-metadata bound. */
+    std::uint64_t maxRegions = 1024;
+
+    /**
+     * Adjacent regions merge when their access densities differ by
+     * no more than this fraction of the larger density (both-idle
+     * regions always qualify).
+     */
+    double mergeDensityDelta = 0.2;
+
+    /**
+     * Exponential decay folding an epoch's counts into the running
+     * aggregates: aggregate = decay * aggregate + epoch. 1.0 keeps
+     * full history (and makes conservation testable), 0.0 keeps
+     * only the last epoch.
+     */
+    double decay = 0.5;
+
+    /** Record merges/splits in the decision ledger when enabled. */
+    bool ledger = true;
+};
+
+/** One address-contiguous span of pages with aggregate behaviour. */
+struct Region
+{
+    /** First page of the span. */
+    PageId first = 0;
+
+    /** Page count of the span (always >= 1). */
+    std::uint64_t pages = 0;
+
+    /** @{ @name Current-epoch raw counts (reset by endEpoch) */
+    std::uint64_t epochReads = 0;
+    std::uint64_t epochWrites = 0;
+    /** @} */
+
+    /** @{ @name Decayed running aggregates (updated by endEpoch) */
+    double reads = 0;
+    double writes = 0;
+    /** @} */
+
+    /** Mean per-page AVF of the span (profile-seeded). */
+    double avf = 0;
+
+    /** Epochs this region survived unchanged by merge/split. */
+    std::uint32_t age = 0;
+
+    /** One past the last page of the span. */
+    PageId end() const { return first + pages; }
+
+    /** Aggregate access count (the region hotness metric). */
+    double hotness() const { return reads + writes; }
+
+    /** Accesses per page: the merge/scheme comparison metric. */
+    double density() const
+    {
+        return pages == 0
+                   ? 0.0
+                   : hotness() / static_cast<double>(pages);
+    }
+
+    /** Wr ratio of the aggregates (region risk heuristic). */
+    double wrRatio() const
+    {
+        return writes / (reads > 1.0 ? reads : 1.0);
+    }
+
+    /** Wr^2 ratio of the aggregates. */
+    double wr2Ratio() const
+    {
+        return writes * writes / (reads > 1.0 ? reads : 1.0);
+    }
+};
+
+/**
+ * Bounded adaptive set of disjoint, sorted, contiguous regions.
+ *
+ * The monitor must be seeded (initFootprint or initFromProfile)
+ * before accesses are recorded; accesses outside the covered span
+ * grow the edge regions so every access is always attributable.
+ */
+class RegionMonitor
+{
+  public:
+    explicit RegionMonitor(const RegionConfig &config = {});
+
+    /** Cover one contiguous span with equal initial regions. */
+    void initFootprint(PageId first, std::uint64_t pages);
+
+    /**
+     * Cover a profiled footprint: the touched pages are chunked
+     * into at most maxRegions equal-count runs (per-page regions
+     * when maxRegions >= footprint), each seeded with the chunk's
+     * aggregate reads/writes/AVF. Gaps between chunks stay
+     * uncovered until merges bridge them.
+     */
+    void initFromProfile(const PageProfile &profile);
+
+    /** Count one access into the covering region (O(log n)). */
+    void recordAccess(PageId page, bool is_write);
+
+    /**
+     * Epoch boundary: fold epoch counts into the decayed
+     * aggregates, merge similar neighbours, split the largest
+     * regions back up to the budget, and age the survivors.
+     * @param now decision time stamped into ledger records
+     */
+    void endEpoch(Cycle now = 0);
+
+    /** The regions, sorted by first page, pairwise disjoint. */
+    const std::vector<Region> &regions() const { return regions_; }
+
+    /** Index of the region covering a page (npos if uncovered). */
+    std::size_t indexOf(PageId page) const;
+
+    /** "Not covered" return of indexOf(). */
+    static constexpr std::size_t npos = SIZE_MAX;
+
+    const RegionConfig &config() const { return config_; }
+
+    /** @{ @name Adaptation counters (lifetime totals) */
+    std::uint64_t merges() const { return merges_; }
+    std::uint64_t splits() const { return splits_; }
+    std::uint64_t epochs() const { return epochs_; }
+    /** @} */
+
+    /** @{ @name Footprint-wide aggregate means (scheme thresholds) */
+    double meanDensity() const;
+    double meanAvf() const;
+    /** @} */
+
+    /**
+     * Tracked-metadata footprint in bytes: the span table plus the
+     * per-region aggregates (what a hardware or kernel
+     * implementation must provision for `maxRegions`).
+     */
+    std::uint64_t trackedBytes() const;
+
+  private:
+    /** Merge similar adjacent regions down to minRegions at most. */
+    void mergePass(Cycle now);
+
+    /** Split largest regions until the budget or indivisibility. */
+    void splitPass(Cycle now);
+
+    RegionConfig config_;
+    std::vector<Region> regions_;
+    std::size_t lastHit_ = 0; ///< recency cache for recordAccess
+    std::uint64_t merges_ = 0;
+    std::uint64_t splits_ = 0;
+    std::uint64_t epochs_ = 0;
+};
+
+} // namespace ramp
+
+#endif // RAMP_REGION_REGION_HH

@@ -1,0 +1,285 @@
+#include "region/scheme.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace ramp
+{
+
+namespace
+{
+
+/** Trimmed copy (the grammar ignores whitespace around tokens). */
+std::string
+trim(const std::string &text)
+{
+    const auto begin = text.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = text.find_last_not_of(" \t");
+    return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream in(text);
+    while (std::getline(in, part, sep))
+        parts.push_back(trim(part));
+    return parts;
+}
+
+bool
+parseNumber(const std::string &text, double &value)
+{
+    char *end = nullptr;
+    value = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+bool
+parsePredicate(const std::string &pred, RegionScheme &scheme,
+               std::string &error)
+{
+    if (pred == "hot") {
+        scheme.requireHot = true;
+        return true;
+    }
+    if (pred == "cold") {
+        scheme.requireCold = true;
+        return true;
+    }
+    if (pred == "lowrisk") {
+        scheme.requireLowRisk = true;
+        return true;
+    }
+    if (pred == "highrisk") {
+        scheme.requireHighRisk = true;
+        return true;
+    }
+    const auto numeric = [&](const char *prefix,
+                             double &value) -> int {
+        const std::size_t n = std::string(prefix).size();
+        if (pred.compare(0, n, prefix) != 0)
+            return 0; // not this predicate
+        if (!parseNumber(pred.substr(n), value) || value < 0) {
+            error = "region scheme: bad number in '" + pred + "'";
+            return -1;
+        }
+        return 1;
+    };
+    double value = 0;
+    int got;
+    if ((got = numeric("pages>=", value)) != 0) {
+        scheme.minPages = static_cast<std::uint64_t>(value);
+        return got > 0;
+    }
+    if ((got = numeric("density>=", value)) != 0) {
+        scheme.minDensity = value;
+        scheme.hasMinDensity = true;
+        return got > 0;
+    }
+    if ((got = numeric("avf<=", value)) != 0) {
+        scheme.maxAvf = value;
+        scheme.hasMaxAvf = true;
+        return got > 0;
+    }
+    if ((got = numeric("age>=", value)) != 0) {
+        scheme.minAge = static_cast<std::uint32_t>(value);
+        return got > 0;
+    }
+    if ((got = numeric("quota=", value)) != 0) {
+        scheme.quota = static_cast<std::uint64_t>(value);
+        return got > 0;
+    }
+    error = "region scheme: unknown predicate '" + pred + "'";
+    return false;
+}
+
+/** Rank actions so capacity frees before it is claimed. */
+int
+applyRank(RegionAction action)
+{
+    switch (action) {
+      case RegionAction::Demote: return 0;
+      case RegionAction::Pin: return 1;
+      default: return 2;
+    }
+}
+
+} // namespace
+
+bool
+RegionScheme::matches(const Region &region, double mean_density,
+                      double mean_avf) const
+{
+    const double density = region.density();
+    if (requireHot && !(density > mean_density))
+        return false;
+    if (requireCold && density > mean_density)
+        return false;
+    if (requireLowRisk && region.avf > mean_avf)
+        return false;
+    if (requireHighRisk && !(region.avf > mean_avf))
+        return false;
+    if (region.pages < minPages)
+        return false;
+    if (hasMinDensity && density < minDensity)
+        return false;
+    if (hasMaxAvf && region.avf > maxAvf)
+        return false;
+    if (region.age < minAge)
+        return false;
+    return true;
+}
+
+std::vector<RegionScheme>
+parseRegionSchemes(const std::string &text, std::string &error)
+{
+    error.clear();
+    std::vector<RegionScheme> schemes;
+    for (const std::string &spec : splitOn(text, ';')) {
+        if (spec.empty())
+            continue;
+        const auto colon = spec.find(':');
+        const std::string action = trim(spec.substr(0, colon));
+        RegionScheme scheme;
+        if (action == "promote") {
+            scheme.action = RegionAction::Promote;
+        } else if (action == "demote") {
+            scheme.action = RegionAction::Demote;
+        } else if (action == "pin") {
+            scheme.action = RegionAction::Pin;
+        } else {
+            error = "region scheme: unknown action '" + action +
+                    "' (want promote|demote|pin)";
+            return {};
+        }
+        if (colon != std::string::npos) {
+            for (const std::string &pred :
+                 splitOn(spec.substr(colon + 1), ',')) {
+                if (pred.empty())
+                    continue;
+                if (!parsePredicate(pred, scheme, error))
+                    return {};
+            }
+        }
+        schemes.push_back(scheme);
+    }
+    if (schemes.empty())
+        error = "region scheme: no schemes in '" + text + "'";
+    return error.empty() ? schemes : std::vector<RegionScheme>{};
+}
+
+std::string
+formatRegionScheme(const RegionScheme &scheme)
+{
+    std::ostringstream out;
+    out << regionActionName(scheme.action) << ":";
+    std::vector<std::string> preds;
+    if (scheme.requireHot)
+        preds.push_back("hot");
+    if (scheme.requireCold)
+        preds.push_back("cold");
+    if (scheme.requireLowRisk)
+        preds.push_back("lowrisk");
+    if (scheme.requireHighRisk)
+        preds.push_back("highrisk");
+    const auto number = [](double value) {
+        std::ostringstream text;
+        text << value;
+        return text.str();
+    };
+    if (scheme.minPages > 0)
+        preds.push_back("pages>=" + std::to_string(scheme.minPages));
+    if (scheme.hasMinDensity)
+        preds.push_back("density>=" + number(scheme.minDensity));
+    if (scheme.hasMaxAvf)
+        preds.push_back("avf<=" + number(scheme.maxAvf));
+    if (scheme.minAge > 0)
+        preds.push_back("age>=" + std::to_string(scheme.minAge));
+    if (scheme.quota != UINT64_MAX)
+        preds.push_back("quota=" + std::to_string(scheme.quota));
+    for (std::size_t i = 0; i < preds.size(); ++i)
+        out << (i == 0 ? "" : ",") << preds[i];
+    return out.str();
+}
+
+std::string
+formatRegionSchemes(const std::vector<RegionScheme> &schemes)
+{
+    std::string out;
+    for (const RegionScheme &scheme : schemes) {
+        if (!out.empty())
+            out += ";";
+        out += formatRegionScheme(scheme);
+    }
+    return out;
+}
+
+SchemeEngine::SchemeEngine(std::vector<RegionScheme> schemes)
+    : schemes_(std::move(schemes))
+{
+}
+
+std::vector<RegionOp>
+SchemeEngine::evaluate(const RegionMonitor &monitor,
+                       const PlacementMap &map) const
+{
+    const double mean_density = monitor.meanDensity();
+    const double mean_avf = monitor.meanAvf();
+    const auto &regions = monitor.regions();
+
+    std::vector<RegionOp> ops;
+    std::vector<bool> acted(regions.size(), false);
+    for (const RegionScheme &scheme : schemes_) {
+        std::uint64_t quota = scheme.quota;
+        for (std::size_t i = 0;
+             i < regions.size() && quota > 0; ++i) {
+            if (acted[i])
+                continue; // first matching scheme owns the region
+            const Region &region = regions[i];
+            if (!scheme.matches(region, mean_density, mean_avf))
+                continue;
+            const MemoryId dst =
+                scheme.action == RegionAction::Demote
+                    ? MemoryId::DDR
+                    : MemoryId::HBM;
+            if (scheme.action == RegionAction::Pin) {
+                // Re-pinning a pinned span is a no-op; spans pin
+                // whole, so the first page tells.
+                if (map.isPinned(region.first) &&
+                    map.movablePages(region.first, region.pages,
+                                     dst).empty())
+                    continue;
+            } else if (map.movablePages(region.first, region.pages,
+                                        dst).empty()) {
+                continue; // nothing would move: not an action
+            }
+            RegionOp op;
+            op.first = region.first;
+            op.pages = region.pages;
+            op.region = static_cast<std::uint32_t>(i);
+            op.action = scheme.action;
+            op.density = static_cast<float>(region.density());
+            op.avf = static_cast<float>(region.avf);
+            op.threshHot = static_cast<float>(mean_density);
+            op.threshRisk = static_cast<float>(mean_avf);
+            ops.push_back(op);
+            acted[i] = true;
+            --quota;
+        }
+    }
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const RegionOp &a, const RegionOp &b) {
+                         return applyRank(a.action) <
+                                applyRank(b.action);
+                     });
+    actions_ += ops.size();
+    return ops;
+}
+
+} // namespace ramp

@@ -153,6 +153,7 @@ ProfileCache::deserializeBaseline(
 
     SimResult result = in.result();
     const std::uint64_t page_count = in.u64();
+    result.profile.reserve(page_count);
     for (std::uint64_t i = 0; i < page_count && in.ok; ++i) {
         const PageId page = in.u64();
         PageStats stats;

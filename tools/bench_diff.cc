@@ -45,6 +45,11 @@ usage()
         "(default 50)\n"
         "  --eventlog-pct P  decision-ledger threshold "
         "(default 60)\n"
+        "  --family PREFIX   only compare metrics whose name "
+        "starts\n"
+        "                    with PREFIX (repeatable), so one "
+        "family\n"
+        "                    gates/relaxes independently\n"
         "\n"
         "Exit: 0 ok, 1 regression, 2 usage/unreadable input.\n");
 }
@@ -125,6 +130,8 @@ main(int argc, char **argv)
         } else if (arg == "--eventlog-pct") {
             options.eventlogPct = parsePositive(
                 "--eventlog-pct", value("--eventlog-pct"));
+        } else if (arg == "--family") {
+            options.families.push_back(value("--family"));
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "bench_diff: unknown flag '%s'\n",

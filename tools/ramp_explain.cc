@@ -63,6 +63,10 @@ struct Event
     std::string quadrant;
     std::string mode; ///< fault records
     std::string tier; ///< fault records
+    std::string action; ///< region records
+    std::uint64_t region = noPage; ///< region records
+    std::uint64_t span = 0; ///< region records
+    double density = NAN; ///< region records
     double hotness = NAN;
     double wrRatio = NAN;
     double avf = NAN;
@@ -82,6 +86,7 @@ usage()
         "  --top-regret K     K pages longest in the wrong tier\n"
         "  --migration-churn  tier ping-pong per run\n"
         "  --faults           fault-to-placement attribution\n"
+        "  --region           region merge/split/scheme timeline\n"
         "\n"
         "No query prints a per-run summary. Exit: 0 ok, 1 empty\n"
         "result, 2 usage/malformed input.\n");
@@ -161,6 +166,10 @@ loadEvents(const std::string &path, std::vector<Event> &events,
         event.quadrant = value.stringOr("quadrant", "");
         event.mode = value.stringOr("mode", "");
         event.tier = value.stringOr("tier", "");
+        event.action = value.stringOr("action", "");
+        event.region = idOr(value, "region", noPage);
+        event.span = idOr(value, "span", 0);
+        event.density = value.numberOr("density", NAN);
         event.hotness = value.numberOr("hotness", NAN);
         event.wrRatio = value.numberOr("wr_ratio", NAN);
         event.avf = value.numberOr("avf", NAN);
@@ -483,6 +492,56 @@ queryFaults(const std::vector<Event> &events)
 }
 
 int
+queryRegion(const std::vector<Event> &events)
+{
+    // Region timeline: every monitor adaptation (merge/split) and
+    // every scheme action, in canonical (run, seq) order — the same
+    // file analyzed at any --jobs width prints the same table.
+    TextTable table({"run", "seq", "kind", "epoch", "region",
+                     "first_page", "span", "what", "moved",
+                     "density", "avf"});
+    std::map<std::string, std::uint64_t> kinds;
+    std::size_t rows = 0;
+    for (const Event &event : events) {
+        const bool adaptation = event.kind == "region-merge" ||
+                                event.kind == "region-split";
+        if (event.kind != "region" && !adaptation)
+            continue;
+        ++kinds[event.kind];
+        std::string what;
+        if (event.kind == "region-merge")
+            what = "absorbed " + pageCell(event.partner);
+        else if (event.kind == "region-split")
+            what = "right half at " + pageCell(event.partner);
+        else
+            what = event.action + " " +
+                   (event.src.empty() ? "-" : event.src) + "->" +
+                   (event.dst.empty() ? "-" : event.dst);
+        table.addRow({event.run, std::to_string(event.seq),
+                      event.kind, std::to_string(event.epoch),
+                      pageCell(event.region), pageCell(event.page),
+                      std::to_string(event.span), what,
+                      std::isfinite(event.moved)
+                          ? num(event.moved)
+                          : "-",
+                      num(event.density), num(event.avf)});
+        ++rows;
+    }
+    if (rows == 0) {
+        std::cout << "ramp_explain: no region records (run a "
+                     "region-mode pass with --events-out)\n";
+        return 1;
+    }
+    std::string counts;
+    for (const auto &[kind, count] : kinds)
+        counts += " " + kind + "=" + std::to_string(count);
+    table.print(std::cout, "region timeline (" +
+                               std::to_string(rows) + " records:" +
+                               counts + ")");
+    return 0;
+}
+
+int
 summarize(const std::vector<Event> &events)
 {
     if (events.empty()) {
@@ -534,6 +593,7 @@ main(int argc, char **argv)
     bool want_regret = false;
     bool want_churn = false;
     bool want_faults = false;
+    bool want_region = false;
     std::uint64_t page = noPage;
     std::uint64_t regret_k = 10;
     std::vector<std::string> paths;
@@ -563,6 +623,8 @@ main(int argc, char **argv)
             want_churn = true;
         } else if (arg == "--faults") {
             want_faults = true;
+        } else if (arg == "--region") {
+            want_region = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "ramp_explain: unknown flag '%s'\n",
@@ -601,6 +663,10 @@ main(int argc, char **argv)
     }
     if (want_faults) {
         code = std::max(code, queryFaults(events));
+        ran = true;
+    }
+    if (want_region) {
+        code = std::max(code, queryRegion(events));
         ran = true;
     }
     if (!ran)
