@@ -149,6 +149,49 @@ faultDetailName(std::uint8_t detail)
     return "?";
 }
 
+/** Injected-fault kind spellings (faults/plan.hh order). */
+const char *
+injectKindName(std::uint8_t detail)
+{
+    static const char *const names[] = {"correctable",
+                                        "uncorrected", "capacity"};
+    if (detail < sizeof(names) / sizeof(names[0]))
+        return names[detail];
+    return "?";
+}
+
+/** Injected-fault source spellings (faults/injector.hh order). */
+const char *
+injectSourceName(std::uint32_t source)
+{
+    static const char *const names[] = {"script", "poisson",
+                                        "hammer"};
+    if (source < sizeof(names) / sizeof(names[0]))
+        return names[source];
+    return "?";
+}
+
+/** Why a Remap record moved its page. */
+const char *
+remapReasonName(std::uint8_t detail)
+{
+    static const char *const names[] = {"retire", "sweep", "retry"};
+    if (detail < sizeof(names) / sizeof(names[0]))
+        return names[detail];
+    return "?";
+}
+
+/** Why a Degrade record fired. */
+const char *
+degradeReasonName(std::uint8_t detail)
+{
+    static const char *const names[] = {"capacity-backlog",
+                                        "remap-failed"};
+    if (detail < sizeof(names) / sizeof(names[0]))
+        return names[detail];
+    return "?";
+}
+
 std::string
 headerJson(const std::string &tool, std::uint64_t records,
            std::uint64_t dropped)
@@ -347,6 +390,39 @@ recordJson(const EventRecord &record)
             << ", \"partner\": " << record.partner
             << ", \"density\": " << number(record.hotness)
             << ", \"avf\": " << number(record.avf);
+        break;
+      case EventKind::Inject:
+        // `detail` is the injected FaultEventKind, `region` the
+        // FaultSource, `span` the capacity pages lost (0 for page
+        // strikes), `moved` the correctable burst count.
+        out << ", \"page\": " << record.page << ", \"tier\": \""
+            << tierName(record.dst) << "\", \"fault\": \""
+            << injectKindName(record.detail) << "\", \"source\": \""
+            << injectSourceName(record.region)
+            << "\", \"span\": " << record.span
+            << ", \"count\": " << record.moved;
+        break;
+      case EventKind::Retire:
+        out << ", \"page\": " << record.page << ", \"src\": \""
+            << tierName(record.src) << "\", \"dst\": \""
+            << tierName(record.dst)
+            << "\", \"hotness\": " << number(record.hotness)
+            << ", \"avf\": " << number(record.avf);
+        break;
+      case EventKind::Remap:
+        out << ", \"page\": " << record.page << ", \"src\": \""
+            << tierName(record.src) << "\", \"dst\": \""
+            << tierName(record.dst) << "\", \"reason\": \""
+            << remapReasonName(record.detail) << "\"";
+        break;
+      case EventKind::Degrade:
+        // `span` = capacity pages lost so far, `moved` = pages
+        // evacuated by sweeps, `hotness` = remaining backlog.
+        out << ", \"reason\": \""
+            << degradeReasonName(record.detail)
+            << "\", \"span\": " << record.span
+            << ", \"moved\": " << record.moved
+            << ", \"backlog\": " << number(record.hotness);
         break;
       default:
         out << ", \"page\": " << record.page;

@@ -17,6 +17,10 @@ eventKindName(EventKind kind)
       case EventKind::Region: return "region";
       case EventKind::RegionMerge: return "region-merge";
       case EventKind::RegionSplit: return "region-split";
+      case EventKind::Inject: return "inject";
+      case EventKind::Retire: return "retire";
+      case EventKind::Remap: return "remap";
+      case EventKind::Degrade: return "degrade";
     }
     return "?";
 }
@@ -39,6 +43,7 @@ policyIdName(PolicyId policy)
       case PolicyId::CcMigration: return "cc-migration";
       case PolicyId::FaultSim: return "faultsim";
       case PolicyId::RegionMigration: return "region-migration";
+      case PolicyId::FaultInject: return "fault-inject";
     }
     return "?";
 }
@@ -50,7 +55,7 @@ policyIdFromName(std::string_view name)
     // policy strings degrade to Unknown rather than erroring so
     // third-party engines can still be logged.
     for (int i = 0;
-         i <= static_cast<int>(PolicyId::RegionMigration); ++i) {
+         i <= static_cast<int>(PolicyId::FaultInject); ++i) {
         const auto id = static_cast<PolicyId>(i);
         if (name == policyIdName(id))
             return id;

@@ -62,6 +62,18 @@ enum class EventKind : std::uint8_t
 
     /** Monitor split this region; partner is the new right half. */
     RegionSplit,
+
+    /** Online injector landed a fault on a live run. */
+    Inject,
+
+    /** Uncorrected error retired the page (frame quarantined). */
+    Retire,
+
+    /** Fault response moved a page (retire/sweep/retry remap). */
+    Remap,
+
+    /** Run entered (or stayed in) degraded mode. */
+    Degrade,
 };
 
 /** Stable lower-case name ("place", "promote", ...). */
@@ -84,6 +96,7 @@ enum class PolicyId : std::uint8_t
     CcMigration,
     FaultSim,
     RegionMigration,
+    FaultInject,
 };
 
 /** Stable name, matching policyName()/engine name() spellings. */

@@ -1,0 +1,201 @@
+#include "faults/plan.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ramp
+{
+
+namespace
+{
+
+/** Trimmed copy (the grammar ignores whitespace around tokens). */
+std::string
+trim(const std::string &text)
+{
+    const auto begin = text.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = text.find_last_not_of(" \t");
+    return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream in(text);
+    while (std::getline(in, part, sep))
+        parts.push_back(trim(part));
+    return parts;
+}
+
+bool
+parseNumber(const std::string &text, double &value)
+{
+    char *end = nullptr;
+    value = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+bool
+parseField(const std::string &field, FaultEvent &event,
+           std::string &error)
+{
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) {
+        error = "fault plan: field '" + field + "' needs key=value";
+        return false;
+    }
+    const std::string key = trim(field.substr(0, eq));
+    const std::string text = trim(field.substr(eq + 1));
+    if (key == "tier") {
+        if (text == "hbm") {
+            event.tier = MemoryId::HBM;
+        } else if (text == "ddr") {
+            event.tier = MemoryId::DDR;
+        } else {
+            error = "fault plan: unknown tier '" + text +
+                    "' (want hbm|ddr)";
+            return false;
+        }
+        return true;
+    }
+    double value = 0;
+    if (!parseNumber(text, value) || value < 0) {
+        error = "fault plan: bad number in '" + field + "'";
+        return false;
+    }
+    if (key == "page") {
+        event.page = static_cast<PageId>(value);
+    } else if (key == "epoch") {
+        event.epoch = static_cast<std::uint64_t>(value);
+    } else if (key == "count") {
+        event.count = static_cast<std::uint64_t>(value);
+    } else if (key == "pct") {
+        event.pct = value;
+    } else if (key == "pages") {
+        event.pages = static_cast<std::uint64_t>(value);
+    } else {
+        error = "fault plan: unknown field '" + key + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+validate(const FaultEvent &event, std::string &error)
+{
+    if (event.kind == FaultEventKind::CapacityLoss) {
+        if (event.pct <= 0 && event.pages == 0) {
+            error = "fault plan: capacity event needs pct or pages";
+            return false;
+        }
+        if (event.pct > 100) {
+            error = "fault plan: capacity pct above 100";
+            return false;
+        }
+        return true;
+    }
+    if (event.page == invalidPage) {
+        error = std::string("fault plan: ") +
+                faultEventKindName(event.kind) +
+                " event needs a page";
+        return false;
+    }
+    if (event.count == 0) {
+        error = "fault plan: count must be positive";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+faultEventKindName(FaultEventKind kind)
+{
+    switch (kind) {
+      case FaultEventKind::Correctable: return "correctable";
+      case FaultEventKind::Uncorrected: return "uncorrected";
+      case FaultEventKind::CapacityLoss: return "capacity";
+    }
+    return "?";
+}
+
+std::vector<FaultEvent>
+parseFaultPlan(const std::string &text, std::string &error)
+{
+    error.clear();
+    std::vector<FaultEvent> events;
+    for (const std::string &spec : splitOn(text, ';')) {
+        if (spec.empty())
+            continue;
+        const auto colon = spec.find(':');
+        const std::string kind = trim(spec.substr(0, colon));
+        FaultEvent event;
+        if (kind == "correctable") {
+            event.kind = FaultEventKind::Correctable;
+        } else if (kind == "uncorrected") {
+            event.kind = FaultEventKind::Uncorrected;
+        } else if (kind == "capacity") {
+            event.kind = FaultEventKind::CapacityLoss;
+        } else {
+            error = "fault plan: unknown kind '" + kind +
+                    "' (want correctable|uncorrected|capacity)";
+            return {};
+        }
+        if (colon != std::string::npos) {
+            for (const std::string &field :
+                 splitOn(spec.substr(colon + 1), ',')) {
+                if (field.empty())
+                    continue;
+                if (!parseField(field, event, error))
+                    return {};
+            }
+        }
+        if (!validate(event, error))
+            return {};
+        events.push_back(event);
+    }
+    if (events.empty())
+        error = "fault plan: no events in '" + text + "'";
+    return error.empty() ? events : std::vector<FaultEvent>{};
+}
+
+std::string
+formatFaultEvent(const FaultEvent &event)
+{
+    std::ostringstream out;
+    out << faultEventKindName(event.kind) << ":";
+    if (event.kind == FaultEventKind::CapacityLoss) {
+        out << "tier="
+            << (event.tier == MemoryId::HBM ? "hbm" : "ddr");
+        if (event.pct > 0)
+            out << ",pct=" << event.pct;
+        if (event.pages > 0)
+            out << ",pages=" << event.pages;
+    } else {
+        out << "page=" << event.page;
+        if (event.kind == FaultEventKind::Correctable &&
+            event.count != 1)
+            out << ",count=" << event.count;
+    }
+    out << ",epoch=" << event.epoch;
+    return out.str();
+}
+
+std::string
+formatFaultPlan(const std::vector<FaultEvent> &events)
+{
+    std::string out;
+    for (const FaultEvent &event : events) {
+        if (!out.empty())
+            out += ";";
+        out += formatFaultEvent(event);
+    }
+    return out;
+}
+
+} // namespace ramp

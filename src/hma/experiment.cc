@@ -173,6 +173,66 @@ runRegionDynamic(const SystemConfig &config, const WorkloadData &data,
     return result;
 }
 
+SimResult
+runStaticFaulted(const SystemConfig &config, const WorkloadData &data,
+                 StaticPolicy policy, const PageProfile &profile,
+                 const InjectorConfig &faults)
+{
+    FaultInjector injector(faults);
+    HmaSystem system(config);
+    auto result = system.run(
+        data.traces,
+        buildStaticPlacement(policy, profile, config.hbmPages()),
+        nullptr, &injector);
+    result.label = policyName(policy);
+    return result;
+}
+
+SimResult
+runDynamicFaulted(const SystemConfig &config, const WorkloadData &data,
+                  DynamicScheme scheme, const PageProfile &profile,
+                  const InjectorConfig &faults)
+{
+    auto initial =
+        scheme == DynamicScheme::PerfFocused
+            ? buildStaticPlacement(StaticPolicy::PerfFocused, profile,
+                                   config.hbmPages())
+            : buildBalancedFilledPlacement(profile,
+                                           config.hbmPages());
+    FaultInjector injector(faults);
+    const auto engine = makeEngine(scheme, config);
+    HmaSystem system(config);
+    auto result = system.run(data.traces, std::move(initial),
+                             engine.get(), &injector);
+    result.label = dynamicSchemeName(scheme);
+    return result;
+}
+
+SimResult
+runRegionDynamicFaulted(const SystemConfig &config,
+                        const WorkloadData &data,
+                        const PageProfile &profile,
+                        const InjectorConfig &faults,
+                        const RegionConfig &region_config,
+                        std::vector<RegionScheme> schemes)
+{
+    if (schemes.empty())
+        schemes = defaultRegionSchemes();
+    RegionMigrationEngine engine(config.fcIntervalCycles,
+                                 region_config, std::move(schemes));
+    engine.seedFromProfile(profile);
+    FaultInjector injector(faults);
+    HmaSystem system(config);
+    auto result = system.run(
+        data.traces,
+        buildRegionStaticPlacement(StaticPolicy::Balanced, profile,
+                                   region_config,
+                                   config.hbmPages()),
+        &engine, &injector);
+    result.label = engine.name();
+    return result;
+}
+
 AnnotationSelection
 annotationsFor(const WorkloadData &data, const PageProfile &profile,
                std::uint64_t hbm_capacity_pages)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "annotation/annotation.hh"
+#include "faults/injector.hh"
 #include "hma/system.hh"
 #include "placement/policies.hh"
 #include "region/engine.hh"
@@ -122,6 +123,31 @@ SimResult runRegionDynamic(const SystemConfig &config,
                            const PageProfile &profile,
                            const RegionConfig &region_config = {},
                            std::vector<RegionScheme> schemes = {});
+
+/**
+ * runStaticPolicy under online fault injection: a fresh
+ * FaultInjector is built from `faults` for the pass, so identical
+ * configs reproduce identical fault schedules.
+ */
+SimResult runStaticFaulted(const SystemConfig &config,
+                           const WorkloadData &data,
+                           StaticPolicy policy,
+                           const PageProfile &profile,
+                           const InjectorConfig &faults);
+
+/** runDynamic under online fault injection (fresh injector). */
+SimResult runDynamicFaulted(const SystemConfig &config,
+                            const WorkloadData &data,
+                            DynamicScheme scheme,
+                            const PageProfile &profile,
+                            const InjectorConfig &faults);
+
+/** runRegionDynamic under online fault injection (fresh injector). */
+SimResult runRegionDynamicFaulted(
+    const SystemConfig &config, const WorkloadData &data,
+    const PageProfile &profile, const InjectorConfig &faults,
+    const RegionConfig &region_config = {},
+    std::vector<RegionScheme> schemes = {});
 
 /** Annotation selection for a profiled workload (Section 7). */
 AnnotationSelection annotationsFor(const WorkloadData &data,

@@ -48,6 +48,24 @@ struct SystemTelemetry
         telemetry::metrics().counter("region.scheme_actions");
     telemetry::Counter &regionPages =
         telemetry::metrics().counter("region.scheme_pages");
+    telemetry::Counter &faultsInjected =
+        telemetry::metrics().counter("faults.injected");
+    telemetry::Counter &faultsCorrectable =
+        telemetry::metrics().counter("faults.correctable");
+    telemetry::Counter &faultsUncorrected =
+        telemetry::metrics().counter("faults.uncorrected");
+    telemetry::Counter &faultsCapacityPages =
+        telemetry::metrics().counter("faults.capacity_pages");
+    telemetry::Counter &faultsRetired =
+        telemetry::metrics().counter("faults.retired");
+    telemetry::Counter &faultsRemaps =
+        telemetry::metrics().counter("faults.remaps");
+    telemetry::Counter &faultsSweepMoves =
+        telemetry::metrics().counter("faults.sweep_moves");
+    telemetry::Counter &faultsRetries =
+        telemetry::metrics().counter("faults.retries");
+    telemetry::Counter &faultsDegradedRuns =
+        telemetry::metrics().counter("faults.degraded_runs");
 };
 
 SystemTelemetry &
@@ -242,9 +260,287 @@ HmaSystem::applyDecision(PlacementMap &map,
     }
 }
 
+void
+HmaSystem::applyFaultEpoch(FaultInjector &injector,
+                           std::uint64_t epoch, Cycle now,
+                           PlacementMap &map, MigrationEngine *engine,
+                           ResponseState &response, SimResult &result,
+                           Residency &residency,
+                           std::deque<MigOp> &transfers)
+{
+    const auto faults = injector.onEpoch(epoch);
+
+    // Pace response copies after any still-draining ones, exactly
+    // like a migration decision would.
+    Cycle next_slot = now;
+    if (!transfers.empty())
+        next_slot = std::max(next_slot, transfers.back().when);
+
+    // Phase 1: land this epoch's faults.
+    for (const InjectedFault &fault : faults) {
+        ++result.faultsInjected;
+
+        std::uint64_t capacity_pages = 0;
+        if (fault.kind == FaultEventKind::CapacityLoss) {
+            capacity_pages = fault.pages;
+            if (capacity_pages == 0 && fault.pct > 0)
+                capacity_pages = static_cast<std::uint64_t>(
+                    static_cast<double>(map.hbmCapacityPages()) *
+                    fault.pct / 100.0);
+        }
+        const MemoryId struck_tier =
+            fault.kind == FaultEventKind::CapacityLoss
+                ? fault.tier
+                : map.memoryOf(fault.page);
+        RAMP_TELEM(systemTelemetry().faultsInjected.add(1));
+        RAMP_EVLOG({
+            eventlog::EventRecord record;
+            record.kind = eventlog::EventKind::Inject;
+            record.policy = eventlog::PolicyId::FaultInject;
+            record.epoch = now;
+            record.page = fault.page;
+            record.partner = invalidPage;
+            record.detail = static_cast<std::uint8_t>(fault.kind);
+            record.region = static_cast<std::uint32_t>(fault.source);
+            record.span = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(capacity_pages, UINT32_MAX));
+            record.moved = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(fault.count, UINT32_MAX));
+            record.src = eventlog::tierOf(struck_tier);
+            record.dst = eventlog::tierOf(struck_tier);
+            eventlog::emit(record);
+        });
+
+        switch (fault.kind) {
+          case FaultEventKind::Correctable: {
+            // Correctable strikes survive ECC; they only raise the
+            // page's effective risk for the classifiers.
+            RAMP_TELEM(
+                systemTelemetry().faultsCorrectable.add(1));
+            response.noteCorrectable(fault.page, fault.count);
+            if (engine != nullptr)
+                engine->onFault(fault.page, false, now);
+            break;
+          }
+          case FaultEventKind::Uncorrected: {
+            RAMP_TELEM(
+                systemTelemetry().faultsUncorrected.add(1));
+            // Capture the dying frame's addresses before the retire
+            // drops it — the salvage copy reads from there.
+            const auto src_addrs = pageLineAddrs(map, fault.page);
+            const RetireOutcome outcome =
+                map.retirePage(fault.page);
+            if (!outcome.retired) {
+                if (engine != nullptr)
+                    engine->onFault(fault.page, true, now);
+                break; // second strike on an already-retired page
+            }
+            ++result.pagesRetired;
+            RAMP_TELEM(systemTelemetry().faultsRetired.add(1));
+            if (outcome.from == MemoryId::HBM &&
+                outcome.to == MemoryId::DDR)
+                residency.leave(fault.page, now);
+            else if (outcome.from == MemoryId::DDR &&
+                     outcome.to == MemoryId::HBM)
+                residency.enter(fault.page, now);
+            // Salvage copy onto the fresh frame (same tier when the
+            // survivor was full; the remap is then owed and retried).
+            scheduleTransfer(next_slot, src_addrs, outcome.from,
+                             pageLineAddrs(map, fault.page),
+                             outcome.to, transfers);
+            const PageStats *stats =
+                result.profile.find(fault.page);
+            RAMP_EVLOG({
+                eventlog::EventRecord record;
+                record.kind = eventlog::EventKind::Retire;
+                record.policy = eventlog::PolicyId::FaultInject;
+                record.epoch = now;
+                record.page = fault.page;
+                record.partner = invalidPage;
+                record.src = eventlog::tierOf(outcome.from);
+                record.dst = eventlog::tierOf(outcome.to);
+                record.hotness =
+                    stats == nullptr
+                        ? 0.0f
+                        : static_cast<float>(stats->hotness());
+                record.avf = stats == nullptr
+                                 ? 0.0f
+                                 : static_cast<float>(stats->avf);
+                eventlog::emit(record);
+            });
+            if (outcome.crossedTier) {
+                ++result.responseMoves;
+                RAMP_TELEM(systemTelemetry().faultsRemaps.add(1));
+                RAMP_EVLOG({
+                    eventlog::EventRecord record;
+                    record.kind = eventlog::EventKind::Remap;
+                    record.policy =
+                        eventlog::PolicyId::FaultInject;
+                    record.epoch = now;
+                    record.page = fault.page;
+                    record.partner = invalidPage;
+                    record.src = eventlog::tierOf(outcome.from);
+                    record.dst = eventlog::tierOf(outcome.to);
+                    record.detail = 0; // retire
+                    eventlog::emit(record);
+                });
+            } else {
+                response.queueRemap(fault.page, epoch);
+            }
+            if (engine != nullptr)
+                engine->onFault(fault.page, true, now);
+            break;
+          }
+          case FaultEventKind::CapacityLoss: {
+            const std::uint64_t lost =
+                map.loseCapacity(fault.tier, capacity_pages);
+            result.capacityLostPages += lost;
+            RAMP_TELEM(
+                systemTelemetry().faultsCapacityPages.add(lost));
+            if (lost > 0) {
+                // Losing tier capacity is permanent: the run keeps
+                // going, but in degraded mode from here on.
+                if (!response.degraded()) {
+                    response.setDegraded();
+                    RAMP_TELEM(systemTelemetry()
+                                   .faultsDegradedRuns.add(1));
+                }
+                RAMP_EVLOG({
+                    eventlog::EventRecord record;
+                    record.kind = eventlog::EventKind::Degrade;
+                    record.policy =
+                        eventlog::PolicyId::FaultInject;
+                    record.epoch = now;
+                    record.page = invalidPage;
+                    record.partner = invalidPage;
+                    record.detail = 0; // capacity-backlog
+                    record.span = static_cast<std::uint32_t>(
+                        std::min<std::uint64_t>(lost, UINT32_MAX));
+                    record.moved = 0;
+                    record.hotness = static_cast<float>(
+                        map.overfullHbmPages());
+                    eventlog::emit(record);
+                });
+            }
+            break;
+          }
+        }
+    }
+
+    // Phase 2: retry owed cross-tier remaps (backoff on failure).
+    for (const PageId page : response.dueRemaps(epoch)) {
+        const auto movable =
+            map.movablePages(page, 1, MemoryId::HBM);
+        if (!movable.empty()) {
+            const auto src_addrs = pageLineAddrs(map, page);
+            map.moveRange(page, 1, MemoryId::HBM);
+            map.pinRange(page, 1);
+            residency.enter(page, now);
+            scheduleTransfer(next_slot, src_addrs, MemoryId::DDR,
+                             pageLineAddrs(map, page),
+                             MemoryId::HBM, transfers);
+            response.resolveRemap(page);
+            ++result.responseMoves;
+            RAMP_TELEM(systemTelemetry().faultsRemaps.add(1));
+            RAMP_EVLOG({
+                eventlog::EventRecord record;
+                record.kind = eventlog::EventKind::Remap;
+                record.policy = eventlog::PolicyId::FaultInject;
+                record.epoch = now;
+                record.page = page;
+                record.partner = invalidPage;
+                record.src = eventlog::tierOf(MemoryId::DDR);
+                record.dst = eventlog::tierOf(MemoryId::HBM);
+                record.detail = 2; // retry
+                eventlog::emit(record);
+            });
+        } else {
+            RAMP_TELEM(systemTelemetry().faultsRetries.add(1));
+            if (response.backoff(page, epoch)) {
+                // Out of retries: the page stays where it landed,
+                // pinned, and the run is degraded.
+                map.pinRange(page, 1);
+                if (!response.degraded()) {
+                    response.setDegraded();
+                    RAMP_TELEM(systemTelemetry()
+                                   .faultsDegradedRuns.add(1));
+                }
+                RAMP_EVLOG({
+                    eventlog::EventRecord record;
+                    record.kind = eventlog::EventKind::Degrade;
+                    record.policy =
+                        eventlog::PolicyId::FaultInject;
+                    record.epoch = now;
+                    record.page = page;
+                    record.partner = invalidPage;
+                    record.detail = 1; // remap-failed
+                    record.hotness = static_cast<float>(
+                        response.backlog());
+                    eventlog::emit(record);
+                });
+            }
+        }
+    }
+
+    // Phase 3: bounded emergency demotion while the HBM is overfull
+    // (capacity loss can strand more residents than frames).
+    const std::uint64_t backlog = map.overfullHbmPages();
+    if (backlog > 0) {
+        const std::uint64_t budget = std::min<std::uint64_t>(
+            backlog, injector.config().sweepCapPages);
+        const auto victims =
+            sweepVictims(map, result.profile, budget);
+        std::uint64_t swept = 0;
+        for (const PageId page : victims) {
+            const auto src_addrs = pageLineAddrs(map, page);
+            if (map.moveRange(page, 1, MemoryId::DDR) == 0)
+                continue;
+            residency.leave(page, now);
+            scheduleTransfer(next_slot, src_addrs, MemoryId::HBM,
+                             pageLineAddrs(map, page),
+                             MemoryId::DDR, transfers);
+            ++swept;
+            ++result.responseMoves;
+            RAMP_TELEM(systemTelemetry().faultsSweepMoves.add(1));
+            RAMP_EVLOG({
+                eventlog::EventRecord record;
+                record.kind = eventlog::EventKind::Remap;
+                record.policy = eventlog::PolicyId::FaultInject;
+                record.epoch = now;
+                record.page = page;
+                record.partner = invalidPage;
+                record.src = eventlog::tierOf(MemoryId::HBM);
+                record.dst = eventlog::tierOf(MemoryId::DDR);
+                record.detail = 1; // sweep
+                eventlog::emit(record);
+            });
+        }
+        const std::uint64_t remaining = map.overfullHbmPages();
+        if (remaining > 0) {
+            // Budget exhausted with backlog left: note it once per
+            // epoch so ramp_explain can chart the drain.
+            RAMP_EVLOG({
+                eventlog::EventRecord record;
+                record.kind = eventlog::EventKind::Degrade;
+                record.policy = eventlog::PolicyId::FaultInject;
+                record.epoch = now;
+                record.page = invalidPage;
+                record.partner = invalidPage;
+                record.detail = 0; // capacity-backlog
+                record.span = 0;
+                record.moved = static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(swept, UINT32_MAX));
+                record.hotness = static_cast<float>(remaining);
+                eventlog::emit(record);
+            });
+        }
+    }
+}
+
 SimResult
 HmaSystem::run(const std::vector<CoreTrace> &traces,
-               PlacementMap placement, MigrationEngine *engine)
+               PlacementMap placement, MigrationEngine *engine,
+               FaultInjector *injector)
 {
     if (static_cast<int>(traces.size()) > config_.cores)
         ramp_fatal("more traces than configured cores");
@@ -278,6 +574,11 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
     Cycle next_boundary =
         engine != nullptr ? engine->interval() : 0;
     Cycle last_epoch = 0; ///< Previous non-empty decision boundary.
+    ResponseState response(
+        injector != nullptr ? injector->config().maxRetries : 8);
+    Cycle next_inject =
+        injector != nullptr ? injector->epochCycles() : 0;
+    std::uint64_t inject_epoch = 0; ///< 1-based, like FaultEvent.
     std::deque<MigOp> transfers;
     auto drain_transfers = [&](Cycle up_to) {
         while (!transfers.empty() && transfers.front().when <= up_to) {
@@ -295,8 +596,27 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
         CoreModel &core = cores[core_idx];
         const Cycle issue_t = core.nextIssueTime();
 
-        // Interval boundaries strictly before this issue.
-        while (engine != nullptr && next_boundary <= issue_t) {
+        // Interval boundaries strictly before this issue. Injector
+        // epochs interleave with engine boundaries in cycle order;
+        // the injector wins ties so fault responses land before a
+        // same-cycle migration decision sees the placement.
+        while ((engine != nullptr && next_boundary <= issue_t) ||
+               (injector != nullptr && next_inject <= issue_t)) {
+            const bool engine_due =
+                engine != nullptr && next_boundary <= issue_t;
+            const bool inject_due =
+                injector != nullptr && next_inject <= issue_t;
+            if (inject_due &&
+                (!engine_due || next_inject <= next_boundary)) {
+                drain_transfers(next_inject);
+                ++inject_epoch;
+                applyFaultEpoch(*injector, inject_epoch,
+                                next_inject, placement, engine,
+                                response, result, residency,
+                                transfers);
+                next_inject += injector->epochCycles();
+                continue;
+            }
             drain_transfers(next_boundary);
             const auto decision =
                 engine->onInterval(next_boundary, placement);
@@ -348,6 +668,8 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
 
         if (engine != nullptr)
             engine->onAccess(page, req.isWrite, mem);
+        if (injector != nullptr)
+            injector->onAccess(page, req.isWrite, mem);
         const Cycle penalty =
             engine != nullptr ? engine->remapPenalty(page) : 0;
 
@@ -423,6 +745,8 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
             static_cast<double>(total_reads);
     }
     result.migratedPages = placement.migrations();
+    result.responseRetries = response.retries();
+    result.degraded = response.degraded();
     RAMP_TELEM({
         auto &tel = systemTelemetry();
         tel.runs.add(1);

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "dram/memory.hh"
+#include "faults/injector.hh"
+#include "faults/response.hh"
 #include "hma/config.hh"
 #include "migration/engine.hh"
 #include "placement/map.hh"
@@ -67,6 +69,26 @@ struct SimResult
     std::uint64_t migrationEvents = 0;
     /** @} */
 
+    /** @{ @name Online faults (zero when no injector ran) */
+    /** Faults the injector landed on this run. */
+    std::uint64_t faultsInjected = 0;
+
+    /** Pages retired by uncorrected errors. */
+    std::uint64_t pagesRetired = 0;
+
+    /** HBM frames lost to capacity events. */
+    std::uint64_t capacityLostPages = 0;
+
+    /** Pages the fault response moved (remaps + sweeps). */
+    std::uint64_t responseMoves = 0;
+
+    /** Remap retry attempts (backoff loop). */
+    std::uint64_t responseRetries = 0;
+
+    /** True when the run finished in degraded mode. */
+    bool degraded = false;
+    /** @} */
+
     /** @{ @name Reliability */
     /** Per-page counts and AVF measured during this run. */
     PageProfile profile;
@@ -92,10 +114,15 @@ class HmaSystem
      * @param placement initial page placement (moved in; mutated by
      *                  the engine during the run)
      * @param engine optional dynamic migration engine
+     * @param injector optional online fault injector (one fresh
+     *                 instance per run); faults it lands are
+     *                 responded to inline — retirement, emergency
+     *                 sweeps, degraded mode (DESIGN.md §12)
      */
     SimResult run(const std::vector<CoreTrace> &traces,
                   PlacementMap placement,
-                  MigrationEngine *engine = nullptr);
+                  MigrationEngine *engine = nullptr,
+                  FaultInjector *injector = nullptr);
 
     /** The configuration this system was built with. */
     const SystemConfig &config() const { return config_; }
@@ -144,6 +171,19 @@ class HmaSystem
                           const std::vector<Addr> &dst_addrs,
                           MemoryId dst_mem,
                           std::deque<MigOp> &transfers);
+
+    /**
+     * One injector epoch: land the epoch's faults (retirements,
+     * risk notes, capacity loss), retry owed cross-tier remaps with
+     * backoff, and run the bounded emergency-demotion sweep when the
+     * HBM is overfull. Every fault and response lands in the ledger.
+     */
+    void applyFaultEpoch(FaultInjector &injector,
+                         std::uint64_t epoch, Cycle now,
+                         PlacementMap &map, MigrationEngine *engine,
+                         ResponseState &response, SimResult &result,
+                         Residency &residency,
+                         std::deque<MigOp> &transfers);
 
     SystemConfig config_;
     DramMemory hbm_;

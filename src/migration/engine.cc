@@ -57,6 +57,14 @@ MigrationEngine::remapPenalty(PageId page)
     return 0;
 }
 
+void
+MigrationEngine::onFault(PageId page, bool uncorrected, Cycle now)
+{
+    (void)page;
+    (void)uncorrected;
+    (void)now;
+}
+
 // ---------------------------------------------------------------
 // PerfFocusedMigration
 // ---------------------------------------------------------------
@@ -237,8 +245,9 @@ FcReliabilityMigration::onInterval(Cycle now, const PlacementMap &map)
         if (map.isPinned(page))
             continue;
         const auto counts = counters_.countsOf(page);
-        const bool risky = counts.hotness() > 0 &&
-                           counts.wrRatio() < riskMargin * mean_wr;
+        const bool risky = faulted_.count(page) != 0 ||
+                           (counts.hotness() > 0 &&
+                            counts.wrRatio() < riskMargin * mean_wr);
         const bool cold = !hot(counts);
         if (risky || cold)
             victims.push_back({page, risky, counts.hotness()});
@@ -298,6 +307,17 @@ FcReliabilityMigration::onInterval(Cycle now, const PlacementMap &map)
 
     counters_.reset();
     return decision;
+}
+
+void
+FcReliabilityMigration::onFault(PageId page, bool uncorrected,
+                                Cycle now)
+{
+    (void)uncorrected;
+    (void)now;
+    // Any strike — correctable burst or uncorrected — makes the
+    // page permanently high-risk to the classifier.
+    faulted_.insert(page);
 }
 
 std::uint64_t
@@ -366,8 +386,9 @@ CrossCounterMigration::onInterval(Cycle now, const PlacementMap &map)
             const auto counts = riskCounters_.countsOf(page);
             constexpr double riskMargin = 0.5;
             const bool risky =
-                counts.hotness() > 0 &&
-                counts.wrRatio() < riskMargin * mean_wr;
+                faulted_.count(page) != 0 ||
+                (counts.hotness() > 0 &&
+                 counts.wrRatio() < riskMargin * mean_wr);
             const bool cold =
                 static_cast<double>(counts.hotness()) <= mean_hot;
             if (risky &&
@@ -507,6 +528,15 @@ CrossCounterMigration::onInterval(Cycle now, const PlacementMap &map)
     }
     mea_.reset();
     return decision;
+}
+
+void
+CrossCounterMigration::onFault(PageId page, bool uncorrected,
+                               Cycle now)
+{
+    (void)uncorrected;
+    (void)now;
+    faulted_.insert(page);
 }
 
 std::uint64_t

@@ -131,6 +131,14 @@ class MigrationEngine
     virtual Cycle remapPenalty(PageId page);
 
     /**
+     * An online fault landed on the page (faults/injector.hh). The
+     * default ignores it — the perf-focused baseline is deliberately
+     * reliability-blind; the reliability-aware engines mark the page
+     * as permanently high-risk so their classifiers see it.
+     */
+    virtual void onFault(PageId page, bool uncorrected, Cycle now);
+
+    /**
      * Tracking-hardware storage in bytes for a system with the given
      * page populations (Sections 6.3 / 6.4.2 use the paper's
      * unscaled 4.25M total / 262K HBM pages).
@@ -180,6 +188,7 @@ class FcReliabilityMigration : public MigrationEngine
     Cycle interval() const override { return interval_; }
     MigrationDecision onInterval(Cycle now,
                                  const PlacementMap &map) override;
+    void onFault(PageId page, bool uncorrected, Cycle now) override;
     std::uint64_t
     hardwareCostBytes(std::uint64_t total_pages,
                       std::uint64_t hbm_pages) const override;
@@ -188,6 +197,7 @@ class FcReliabilityMigration : public MigrationEngine
     Cycle interval_;
     std::uint32_t capPages_;
     FullCounterTable counters_;
+    std::unordered_set<PageId> faulted_; ///< struck pages stay risky
 };
 
 /** Cross-Counter migration: MEA + HBM risk counters (Section 6.4). */
@@ -213,6 +223,7 @@ class CrossCounterMigration : public MigrationEngine
     MigrationDecision onInterval(Cycle now,
                                  const PlacementMap &map) override;
     Cycle remapPenalty(PageId page) override;
+    void onFault(PageId page, bool uncorrected, Cycle now) override;
     std::uint64_t
     hardwareCostBytes(std::uint64_t total_pages,
                       std::uint64_t hbm_pages) const override;
@@ -232,6 +243,7 @@ class CrossCounterMigration : public MigrationEngine
     RemapCache remap_;
     std::vector<PageId> pendingEvictions_; ///< high-risk HBM pages
     std::unordered_set<PageId> promotedThisRound_;
+    std::unordered_set<PageId> faulted_; ///< struck pages stay risky
 };
 
 } // namespace ramp

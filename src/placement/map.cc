@@ -1,5 +1,7 @@
 #include "placement/map.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace ramp
@@ -224,6 +226,82 @@ PlacementMap::pinRange(PageId first, std::uint64_t pages)
         ++pinned;
     }
     return pinned;
+}
+
+RetireOutcome
+PlacementMap::retirePage(PageId page)
+{
+    RetireOutcome out;
+    if (isRetired(page))
+        return out; // a frame dies once
+    Entry &entry = entryOf(page);
+    // Materialize the frame the error struck so the quarantine has
+    // a concrete victim even for never-touched pages.
+    if (entry.frame == UINT64_MAX)
+        entry.frame = allocFrame(entry.mem);
+    out.retired = true;
+    out.from = entry.mem;
+    auto &quarantine = entry.mem == MemoryId::HBM
+                           ? retiredHbmFrames_
+                           : retiredDdrFrames_;
+    quarantine.insert(entry.frame);
+    retiredPages_.insert(page);
+    entry.frame = UINT64_MAX; // reallocates on next access
+
+    if (entry.mem == MemoryId::HBM) {
+        // The dead frame shrinks the tier; the page leaves with it.
+        --hbmCapacity_;
+        --hbmUsed_;
+        entry.mem = MemoryId::DDR;
+        entry.pinned = true;
+        out.crossedTier = true;
+        ++migrations_;
+    } else if (hbmFreePages() > 0) {
+        entry.mem = MemoryId::HBM;
+        entry.pinned = true;
+        ++hbmUsed_;
+        out.crossedTier = true;
+        ++migrations_;
+    }
+    // else: HBM full — the page stays in DDR on a fresh frame,
+    // unpinned, and the caller retries the promotion with backoff.
+    out.to = entry.mem;
+    return out;
+}
+
+std::uint64_t
+PlacementMap::loseCapacity(MemoryId mem, std::uint64_t pages)
+{
+    if (mem != MemoryId::HBM)
+        return 0; // DDR capacity is unbounded in this model
+    const std::uint64_t lost = std::min(pages, hbmCapacity_);
+    hbmCapacity_ -= lost;
+    return lost;
+}
+
+bool
+PlacementMap::isFrameRetired(MemoryId mem, std::uint64_t frame) const
+{
+    const auto &quarantine = mem == MemoryId::HBM
+                                 ? retiredHbmFrames_
+                                 : retiredDdrFrames_;
+    return quarantine.count(frame) != 0;
+}
+
+std::uint64_t
+PlacementMap::retiredFrames(MemoryId mem) const
+{
+    return mem == MemoryId::HBM ? retiredHbmFrames_.size()
+                                : retiredDdrFrames_.size();
+}
+
+std::vector<PageId>
+PlacementMap::retiredPages() const
+{
+    std::vector<PageId> pages(retiredPages_.begin(),
+                              retiredPages_.end());
+    std::sort(pages.begin(), pages.end());
+    return pages;
 }
 
 std::vector<PageId>

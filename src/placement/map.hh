@@ -15,12 +15,33 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace ramp
 {
+
+/** What PlacementMap::retirePage did (fault response). */
+struct RetireOutcome
+{
+    /** False when the page was already retired (no-op). */
+    bool retired = false;
+
+    /** Tier the page occupied when the fault struck. */
+    MemoryId from = MemoryId::DDR;
+
+    /** Tier the page lives in after the remap. */
+    MemoryId to = MemoryId::DDR;
+
+    /**
+     * True when the remap reached the other tier. False means the
+     * surviving tier was full: the page got a fresh frame in its own
+     * tier and the caller owns retrying the cross-tier move.
+     */
+    bool crossedTier = false;
+};
 
 /** Page-to-memory assignment with frame allocation. */
 class PlacementMap
@@ -112,12 +133,66 @@ class PlacementMap
     std::uint64_t pinRange(PageId first, std::uint64_t pages);
     /** @} */
 
+    /** @{ @name Fault response (retirement and capacity loss)
+     *
+     * An uncorrected error kills the physical frame, not the page:
+     * retirePage quarantines the frame forever (it never re-enters a
+     * free list), remaps the page to the other tier when it fits,
+     * and pins it there so migration engines leave it alone. Losing
+     * an HBM frame shrinks hbmCapacityPages() by one — the budget
+     * tracks surviving hardware, so an overfull map is a valid state
+     * the caller drains with demotion sweeps.
+     */
+
+    /**
+     * Retire a page after an uncorrected error. The frame it sat in
+     * (allocated now if it was never touched) is quarantined; the
+     * page is remapped to the other tier when capacity allows and
+     * pinned on a successful cross. A DDR page that finds HBM full
+     * stays in DDR on a fresh frame, unpinned, so the caller can
+     * retry the promotion later.
+     */
+    RetireOutcome retirePage(PageId page);
+
+    /**
+     * Lose `pages` frames of a tier's capacity (e.g. a dead HBM
+     * channel). Only HBM capacity is modelled; the budget may drop
+     * below current occupancy — see overfullHbmPages().
+     * @return frames actually lost (clamped to remaining capacity)
+     */
+    std::uint64_t loseCapacity(MemoryId mem, std::uint64_t pages);
+
+    /** Pages resident in HBM beyond the surviving capacity. */
+    std::uint64_t overfullHbmPages() const
+    {
+        return hbmUsed_ > hbmCapacity_ ? hbmUsed_ - hbmCapacity_ : 0;
+    }
+
+    /** True when the page has been retired by an uncorrected error. */
+    bool isRetired(PageId page) const
+    {
+        return retiredPages_.count(page) != 0;
+    }
+
+    /** True when the frame is quarantined (never reallocated). */
+    bool isFrameRetired(MemoryId mem, std::uint64_t frame) const;
+
+    /** Quarantined frame count in a tier. */
+    std::uint64_t retiredFrames(MemoryId mem) const;
+
+    /** Retired pages in ascending id order (deterministic). */
+    std::vector<PageId> retiredPages() const;
+    /** @} */
+
     /** @{ @name Capacity */
     std::uint64_t hbmCapacityPages() const { return hbmCapacity_; }
     std::uint64_t hbmUsedPages() const { return hbmUsed_; }
     std::uint64_t hbmFreePages() const
     {
-        return hbmCapacity_ - hbmUsed_;
+        // Saturating: capacity loss can push the budget below the
+        // current occupancy (see overfullHbmPages()).
+        return hbmUsed_ >= hbmCapacity_ ? 0
+                                        : hbmCapacity_ - hbmUsed_;
     }
     /** @} */
 
@@ -140,6 +215,9 @@ class PlacementMap
     std::uint64_t hbmUsed_ = 0;
     std::uint64_t migrations_ = 0;
     std::unordered_map<PageId, Entry> entries_;
+    std::unordered_set<PageId> retiredPages_;
+    std::unordered_set<std::uint64_t> retiredHbmFrames_;
+    std::unordered_set<std::uint64_t> retiredDdrFrames_;
     std::vector<std::uint64_t> freeHbmFrames_;
     std::vector<std::uint64_t> freeDdrFrames_;
     std::uint64_t nextHbmFrame_ = 0;

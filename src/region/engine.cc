@@ -49,6 +49,17 @@ RegionMigrationEngine::onInterval(Cycle now, const PlacementMap &map)
     return decision;
 }
 
+void
+RegionMigrationEngine::onFault(PageId page, bool uncorrected,
+                               Cycle now)
+{
+    (void)uncorrected;
+    // Isolate the struck page into its own maximally-risky region so
+    // highrisk/avf predicates act on it at page resolution instead
+    // of smearing the risk over the whole covering span.
+    monitor_.splitAt(page, now);
+}
+
 std::uint64_t
 RegionMigrationEngine::hardwareCostBytes(std::uint64_t total_pages,
                                          std::uint64_t hbm_pages) const

@@ -55,6 +55,7 @@ class RegionMigrationEngine : public MigrationEngine
     Cycle interval() const override { return interval_; }
     MigrationDecision onInterval(Cycle now,
                                  const PlacementMap &map) override;
+    void onFault(PageId page, bool uncorrected, Cycle now) override;
     std::uint64_t
     hardwareCostBytes(std::uint64_t total_pages,
                       std::uint64_t hbm_pages) const override;

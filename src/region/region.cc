@@ -275,6 +275,46 @@ RegionMonitor::mergePass(Cycle now)
 }
 
 void
+RegionMonitor::splitRegion(std::size_t index, std::uint64_t lhs,
+                           Cycle now)
+{
+    Region &left = regions_[index];
+    const std::uint64_t total = left.pages;
+    Region right;
+    right.first = left.first + lhs;
+    right.pages = total - lhs;
+    // Apportion by page count; the remainder stays on the left
+    // so epoch counts are conserved exactly.
+    const auto take = [&](std::uint64_t count) {
+        return count * lhs / total;
+    };
+    right.epochReads = left.epochReads - take(left.epochReads);
+    right.epochWrites =
+        left.epochWrites - take(left.epochWrites);
+    left.epochReads -= right.epochReads;
+    left.epochWrites -= right.epochWrites;
+    const double share = static_cast<double>(lhs) /
+                         static_cast<double>(total);
+    const double lr = left.reads * share;
+    const double lw = left.writes * share;
+    right.reads = left.reads - lr;
+    right.writes = left.writes - lw;
+    left.reads = lr;
+    left.writes = lw;
+    right.avf = left.avf;
+    left.pages = lhs;
+    left.age = 0;
+    right.age = 0;
+    regions_.insert(regions_.begin() +
+                        static_cast<std::ptrdiff_t>(index) + 1,
+                    right);
+    ++splits_;
+    if (config_.ledger)
+        emitAdaptation(eventlog::EventKind::RegionSplit, index,
+                       regions_[index], right.first, now);
+}
+
+void
 RegionMonitor::splitPass(Cycle now)
 {
     // DAMON's adaptation: aim to double the region count each epoch
@@ -297,42 +337,31 @@ RegionMonitor::splitPass(Cycle now)
         }
         if (pick == npos)
             break;
-        Region &left = regions_[pick];
-        const std::uint64_t total = left.pages;
-        const std::uint64_t lhs = total / 2;
-        Region right;
-        right.first = left.first + lhs;
-        right.pages = total - lhs;
-        // Apportion by page count; the remainder stays on the left
-        // so epoch counts are conserved exactly.
-        const auto take = [&](std::uint64_t count) {
-            return count * lhs / total;
-        };
-        right.epochReads = left.epochReads - take(left.epochReads);
-        right.epochWrites =
-            left.epochWrites - take(left.epochWrites);
-        left.epochReads -= right.epochReads;
-        left.epochWrites -= right.epochWrites;
-        const double share = static_cast<double>(lhs) /
-                             static_cast<double>(total);
-        const double lr = left.reads * share;
-        const double lw = left.writes * share;
-        right.reads = left.reads - lr;
-        right.writes = left.writes - lw;
-        left.reads = lr;
-        left.writes = lw;
-        right.avf = left.avf;
-        left.pages = lhs;
-        left.age = 0;
-        right.age = 0;
-        regions_.insert(regions_.begin() +
-                            static_cast<std::ptrdiff_t>(pick) + 1,
-                        right);
-        ++splits_;
-        if (config_.ledger)
-            emitAdaptation(eventlog::EventKind::RegionSplit, pick,
-                           regions_[pick], right.first, now);
+        splitRegion(pick, regions_[pick].pages / 2, now);
     }
+}
+
+bool
+RegionMonitor::splitAt(PageId page, Cycle now)
+{
+    std::size_t index = indexOf(page);
+    if (index == npos)
+        return false;
+    // Cleave off everything left of the page, then everything right
+    // of it, budget permitting, so the struck page stands alone.
+    if (page > regions_[index].first &&
+        regions_.size() < config_.maxRegions) {
+        splitRegion(index, page - regions_[index].first, now);
+        ++index; // the page now heads the right half
+    }
+    if (regions_[index].pages >= 2 &&
+        regions_[index].first == page &&
+        regions_.size() < config_.maxRegions)
+        splitRegion(index, 1, now);
+    Region &struck = regions_[index];
+    struck.avf = 1.0; // maximally risky to every scheme predicate
+    struck.age = 0;
+    return true;
 }
 
 void

@@ -149,6 +149,15 @@ class RegionMonitor
      */
     void endEpoch(Cycle now = 0);
 
+    /**
+     * Fault response: isolate a struck page into its own region so
+     * scheme predicates see the risk at page resolution. Splits the
+     * covering region at the page's boundaries (budget permitting)
+     * and marks the page's region maximally risky (avf = 1, age 0).
+     * @return false when no region covers the page
+     */
+    bool splitAt(PageId page, Cycle now = 0);
+
     /** The regions, sorted by first page, pairwise disjoint. */
     const std::vector<Region> &regions() const { return regions_; }
 
@@ -184,6 +193,10 @@ class RegionMonitor
 
     /** Split largest regions until the budget or indivisibility. */
     void splitPass(Cycle now);
+
+    /** Split one region after `lhs_pages` pages (count-conserving). */
+    void splitRegion(std::size_t index, std::uint64_t lhs_pages,
+                     Cycle now);
 
     RegionConfig config_;
     std::vector<Region> regions_;

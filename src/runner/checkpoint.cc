@@ -179,7 +179,8 @@ expect(const std::string &line, std::size_t &pos, const char *token)
 std::string
 headerLine(const std::string &tool)
 {
-    return "{\"ramp_journal\":1,\"tool\":\"" + escape(tool) + "\"}";
+    // Version 2: SimResult grew the fault-response fields.
+    return "{\"ramp_journal\":2,\"tool\":\"" + escape(tool) + "\"}";
 }
 
 } // namespace

@@ -77,6 +77,12 @@ struct Writer
         dram(r.ddrStats);
         u64(r.migratedPages);
         u64(r.migrationEvents);
+        u64(r.faultsInjected);
+        u64(r.pagesRetired);
+        u64(r.capacityLostPages);
+        u64(r.responseMoves);
+        u64(r.responseRetries);
+        u64(r.degraded ? 1 : 0);
         f64(r.memoryAvf);
         f64(r.ser);
     }
@@ -156,6 +162,12 @@ struct Reader
         r.ddrStats = dram();
         r.migratedPages = u64();
         r.migrationEvents = u64();
+        r.faultsInjected = u64();
+        r.pagesRetired = u64();
+        r.capacityLostPages = u64();
+        r.responseMoves = u64();
+        r.responseRetries = u64();
+        r.degraded = u64() != 0;
         r.memoryAvf = f64();
         r.ser = f64();
         return r;

@@ -287,6 +287,17 @@ Harness::runPassesImpl(const std::vector<PassDesc> &descs,
                         out.seconds);
     }
 
+    bool timed_out = false;
+    for (const auto &out : outcomes)
+        if (out.status == PassStatus::Timeout)
+            timed_out = true;
+    if (timed_out && !cancellationRequested()) {
+        // A timed-out pass is a campaign an operator may kill next;
+        // leave the artifacts behind now (finish() atomically
+        // rewrites them with the complete campaign later).
+        flushOutputs();
+    }
+
     if (cancellationRequested()) {
         finish(); // Flush what completed before winding down.
         const int sig = cancellationSignal();
@@ -361,7 +372,14 @@ Harness::finish()
                         " pass(es) did not complete");
     }
 
-    int code = failures.empty() ? 0 : 3;
+    const int flush = flushOutputs();
+    return flush != 0 ? flush : (failures.empty() ? 0 : 3);
+}
+
+int
+Harness::flushOutputs()
+{
+    int code = 0;
     std::optional<EventsInfo> events_info;
     if (!options_.eventsPath.empty()) {
         if (atomicWriteFile(options_.eventsPath,

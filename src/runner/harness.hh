@@ -201,6 +201,17 @@ class Harness
     runPassesImpl(const std::vector<PassDesc> &descs,
                   const std::function<SimResult(std::size_t)> &fn);
 
+    /**
+     * Write every requested output artifact (--events-out, --json,
+     * --metrics-out, --trace-out, --bench-out), each atomic
+     * tmp+rename. Returns 0, or 1 when any file cannot be written.
+     * Idempotent: called early when a pass times out (so a campaign
+     * an operator then kills still leaves artifacts behind, like
+     * the SIGINT path) and again by finish(), which atomically
+     * replaces the early flush with the complete campaign.
+     */
+    int flushOutputs();
+
     /** Render the --bench-out document from the run's state. */
     std::string benchJson();
 

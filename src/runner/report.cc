@@ -306,8 +306,21 @@ Report::writeJson(const std::string &path, unsigned jobs,
             << ", \"hbm_access_fraction\": "
             << jsonNumber(r.hbmAccessFraction)
             << ", \"migrated_pages\": " << r.migratedPages
-            << ", \"migration_events\": " << r.migrationEvents
-            << "}" << (i + 1 < passes.size() ? "," : "") << "\n";
+            << ", \"migration_events\": " << r.migrationEvents;
+        // Fault keys appear only for runs an injector touched, so
+        // fault-free artifacts stay byte-identical to before.
+        if (r.faultsInjected > 0 || r.capacityLostPages > 0 ||
+            r.pagesRetired > 0 || r.degraded) {
+            out << ", \"faults_injected\": " << r.faultsInjected
+                << ", \"pages_retired\": " << r.pagesRetired
+                << ", \"capacity_lost_pages\": "
+                << r.capacityLostPages
+                << ", \"response_moves\": " << r.responseMoves
+                << ", \"response_retries\": " << r.responseRetries
+                << ", \"degraded\": "
+                << (r.degraded ? "true" : "false");
+        }
+        out << "}" << (i + 1 < passes.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     return atomicWriteFile(path, out.str());

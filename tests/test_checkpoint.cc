@@ -411,5 +411,59 @@ TEST(Journal, ResumedCampaignJsonIsByteIdentical)
     fs::remove_all(ckpt);
 }
 
+/**
+ * A campaign that hits --pass-timeout leaves its output artifacts
+ * behind the moment the timeout is noticed — like the SIGINT path —
+ * so an operator who kills the run next still has the partial
+ * report. finish() then atomically replaces the early flush with
+ * the complete campaign.
+ */
+TEST(Harness, TimeoutFlushesOutputsEarly)
+{
+    const std::string json =
+        ::testing::TempDir() + "ramp_timeout_flush.json";
+    const std::string bench =
+        ::testing::TempDir() + "BENCH_timeout_flush.json";
+    std::remove(json.c_str());
+    std::remove(bench.c_str());
+
+    RunnerOptions options;
+    options.jobs = 1;
+    options.passTimeout = 1e-9; // everything overstays
+    options.jsonPath = json;
+    options.benchPath = bench;
+    Harness harness("timeout_flush_tool", options);
+    const auto wl =
+        harness.profile(homogeneousWorkload("astar"), smallTraces());
+    const std::vector<PassDesc> descs = {
+        {wl->name(), Harness::passKey(wl, "slow")}};
+    const auto outcomes =
+        harness.runPasses(descs, [&](std::size_t) {
+            return runStaticPolicy(harness.config(), wl->data,
+                                   StaticPolicy::PerfFocused,
+                                   wl->profile());
+        });
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, PassStatus::Timeout);
+
+    // The artifacts already exist, before finish() ever runs.
+    ASSERT_TRUE(fs::exists(json));
+    ASSERT_TRUE(fs::exists(bench));
+    const std::string early = slurp(json);
+    EXPECT_NE(early.find("\"status\": \"timeout\""),
+              std::string::npos);
+
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(harness.finish(), 3);
+    testing::internal::GetCapturedStderr();
+    // The report content is deterministic, so the final atomic
+    // rewrite reproduces the early flush exactly.
+    EXPECT_EQ(slurp(json), early);
+    EXPECT_TRUE(fs::exists(bench));
+
+    std::remove(json.c_str());
+    std::remove(bench.c_str());
+}
+
 } // namespace
 } // namespace ramp

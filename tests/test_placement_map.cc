@@ -124,6 +124,126 @@ TEST(PlacementMap, FrameReuseAfterEviction)
     EXPECT_EQ(map.deviceAddr(2 * pageSize), frame);
 }
 
+TEST(PlacementMap, MoveRangeCapacityStopReportsMovedPrefix)
+{
+    // A batch promotion into an HBM with room for only part of the
+    // span must report exactly the prefix it moved, with the
+    // occupancy counters agreeing with the per-page residency.
+    PlacementMap map(3);
+    map.place(0, MemoryId::HBM); // 2 frames left for the batch
+    for (PageId page = 10; page < 16; ++page)
+        map.place(page, MemoryId::DDR);
+
+    const auto movable = map.movablePages(10, 6, MemoryId::HBM);
+    EXPECT_EQ(movable, (std::vector<PageId>{10, 11}));
+    EXPECT_EQ(map.moveRange(10, 6, MemoryId::HBM), 2u);
+
+    // The moved prefix is in HBM, the rest untouched.
+    EXPECT_EQ(map.memoryOf(10), MemoryId::HBM);
+    EXPECT_EQ(map.memoryOf(11), MemoryId::HBM);
+    for (PageId page = 12; page < 16; ++page)
+        EXPECT_EQ(map.memoryOf(page), MemoryId::DDR);
+    EXPECT_EQ(map.hbmUsedPages(), 3u);
+    EXPECT_EQ(map.hbmFreePages(), 0u);
+    EXPECT_EQ(map.migrations(), 2u);
+
+    // A second batch is a clean no-op, not a partial double-count.
+    EXPECT_EQ(map.moveRange(10, 6, MemoryId::HBM), 0u);
+    EXPECT_EQ(map.hbmUsedPages(), 3u);
+}
+
+TEST(PlacementMap, RetireHbmPageCrossesToDdr)
+{
+    PlacementMap map(2);
+    map.place(5, MemoryId::HBM);
+    const Addr dead = map.deviceAddr(5 * pageSize);
+
+    const RetireOutcome out = map.retirePage(5);
+    EXPECT_TRUE(out.retired);
+    EXPECT_TRUE(out.crossedTier);
+    EXPECT_EQ(out.from, MemoryId::HBM);
+    EXPECT_EQ(out.to, MemoryId::DDR);
+    EXPECT_TRUE(map.isRetired(5));
+    EXPECT_TRUE(map.isPinned(5));
+    EXPECT_EQ(map.memoryOf(5), MemoryId::DDR);
+    // The dead frame shrank the tier: capacity and occupancy both
+    // dropped by one.
+    EXPECT_EQ(map.hbmCapacityPages(), 1u);
+    EXPECT_EQ(map.hbmUsedPages(), 0u);
+    EXPECT_TRUE(map.isFrameRetired(MemoryId::HBM, dead / pageSize));
+    EXPECT_EQ(map.retiredFrames(MemoryId::HBM), 1u);
+
+    // A second strike on the same page is a no-op.
+    EXPECT_FALSE(map.retirePage(5).retired);
+    EXPECT_EQ(map.hbmCapacityPages(), 1u);
+}
+
+TEST(PlacementMap, RetiredFrameIsNeverReissued)
+{
+    PlacementMap map(4);
+    std::set<std::uint64_t> dead;
+    for (PageId page = 0; page < 3; ++page) {
+        map.place(page, MemoryId::HBM);
+        dead.insert(map.deviceAddr(page * pageSize) / pageSize);
+        map.retirePage(page);
+    }
+    // Fill the surviving capacity with fresh pages: none of their
+    // frames may be a quarantined one.
+    for (PageId page = 100; page < 101; ++page) {
+        ASSERT_TRUE(map.promoteToHbm(page));
+        const std::uint64_t frame =
+            map.deviceAddr(page * pageSize) / pageSize;
+        EXPECT_EQ(dead.count(frame), 0u);
+        EXPECT_FALSE(map.isFrameRetired(MemoryId::HBM, frame));
+    }
+    EXPECT_EQ(map.retiredPages(),
+              (std::vector<PageId>{0, 1, 2}));
+}
+
+TEST(PlacementMap, RetireIntoFullHbmStaysInDdrUnpinned)
+{
+    PlacementMap map(1);
+    map.place(1, MemoryId::HBM);
+    map.place(2, MemoryId::DDR);
+    const Addr dead = map.deviceAddr(2 * pageSize);
+
+    const RetireOutcome out = map.retirePage(2);
+    EXPECT_TRUE(out.retired);
+    EXPECT_FALSE(out.crossedTier); // HBM full: caller retries
+    EXPECT_EQ(out.to, MemoryId::DDR);
+    EXPECT_FALSE(map.isPinned(2)); // a retry may still promote it
+    // Fresh DDR frame, old one quarantined.
+    EXPECT_NE(map.deviceAddr(2 * pageSize), dead);
+    EXPECT_TRUE(map.isFrameRetired(MemoryId::DDR, dead / pageSize));
+}
+
+TEST(PlacementMap, LoseCapacityGoesOverfullAndFreeSaturates)
+{
+    PlacementMap map(4);
+    for (PageId page = 0; page < 4; ++page)
+        map.place(page, MemoryId::HBM);
+
+    EXPECT_EQ(map.loseCapacity(MemoryId::HBM, 3), 3u);
+    EXPECT_EQ(map.hbmCapacityPages(), 1u);
+    EXPECT_EQ(map.hbmUsedPages(), 4u);
+    EXPECT_EQ(map.overfullHbmPages(), 3u);
+    EXPECT_EQ(map.hbmFreePages(), 0u); // saturates, no underflow
+    EXPECT_FALSE(map.promoteToHbm(9));
+
+    // Draining the backlog restores a consistent budget.
+    EXPECT_TRUE(map.evictToDdr(0));
+    EXPECT_TRUE(map.evictToDdr(1));
+    EXPECT_TRUE(map.evictToDdr(2));
+    EXPECT_EQ(map.overfullHbmPages(), 0u);
+    EXPECT_EQ(map.hbmFreePages(), 0u);
+
+    // DDR capacity is not modelled; losing it is a no-op.
+    EXPECT_EQ(map.loseCapacity(MemoryId::DDR, 10), 0u);
+    // Losses clamp to the surviving budget.
+    EXPECT_EQ(map.loseCapacity(MemoryId::HBM, 10), 1u);
+    EXPECT_EQ(map.hbmCapacityPages(), 0u);
+}
+
 TEST(PlacementMap, HbmPagesEnumerates)
 {
     PlacementMap map(3);

@@ -63,6 +63,10 @@ struct Event
     std::string quadrant;
     std::string mode; ///< fault records
     std::string tier; ///< fault records
+    std::string fault; ///< inject records: correctable/uncorrected/..
+    std::string source; ///< inject records: script/poisson/hammer
+    std::string reason; ///< remap/degrade records
+    double backlog = NAN; ///< degrade records
     std::string action; ///< region records
     std::uint64_t region = noPage; ///< region records
     std::uint64_t span = 0; ///< region records
@@ -166,6 +170,10 @@ loadEvents(const std::string &path, std::vector<Event> &events,
         event.quadrant = value.stringOr("quadrant", "");
         event.mode = value.stringOr("mode", "");
         event.tier = value.stringOr("tier", "");
+        event.fault = value.stringOr("fault", "");
+        event.source = value.stringOr("source", "");
+        event.reason = value.stringOr("reason", "");
+        event.backlog = value.numberOr("backlog", NAN);
         event.action = value.stringOr("action", "");
         event.region = idOr(value, "region", noPage);
         event.span = idOr(value, "span", 0);
@@ -447,6 +455,7 @@ queryChurn(const std::vector<Event> &events)
 int
 queryFaults(const std::vector<Event> &events)
 {
+    // Offline FaultSim trials (kind == "fault").
     std::map<std::string, std::uint64_t> byTierMode;
     std::map<std::pair<std::string, std::uint64_t>, std::uint64_t>
         byPage;
@@ -458,36 +467,138 @@ queryFaults(const std::vector<Event> &events)
         ++byTierMode[event.tier + " " + event.mode];
         ++byPage[{event.run, event.page}];
     }
-    if (total == 0) {
+    if (total > 0) {
+        TextTable modes({"tier mode", "faults"});
+        for (const auto &[key, count] : byTierMode)
+            modes.addRow({key, std::to_string(count)});
+        modes.print(std::cout,
+                    "uncorrected-trial faults by tier and mode (" +
+                        std::to_string(total) + " total)");
+
+        std::vector<
+            std::pair<std::pair<std::string, std::uint64_t>,
+                      std::uint64_t>>
+            order(byPage.begin(), byPage.end());
+        std::sort(order.begin(), order.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.second != b.second)
+                          return a.second > b.second;
+                      return a.first < b.first;
+                  });
+        if (order.size() > 10)
+            order.resize(10);
+        TextTable pages({"run", "page", "faults"});
+        for (const auto &[key, count] : order)
+            pages.addRow({key.first, std::to_string(key.second),
+                          std::to_string(count)});
+        pages.print(std::cout,
+                    "most-struck pages (top " +
+                        std::to_string(order.size()) + ")");
+    }
+
+    // Online injected faults and their responses. Events are in
+    // (run, seq) order, so the "latest inject seen for this page"
+    // map attributes each retirement to the strike that caused it,
+    // identically at any --jobs width.
+    struct RunStats
+    {
+        std::uint64_t injected = 0;
+        std::uint64_t capacityPages = 0;
+        std::uint64_t retired = 0;
+        std::map<std::string, std::uint64_t> remaps;
+        std::uint64_t degrades = 0;
+        double backlog = NAN; ///< last reported
+    };
+    struct Attribution
+    {
+        const Event *inject;
+        const Event *retire;
+    };
+    std::map<std::string, RunStats> runs;
+    std::map<std::pair<std::string, std::uint64_t>, const Event *>
+        lastInject;
+    std::vector<Attribution> attributions;
+    std::size_t online = 0;
+    for (const Event &event : events) {
+        if (event.kind == "inject") {
+            ++online;
+            RunStats &run = runs[event.run];
+            ++run.injected;
+            if (event.fault == "capacity")
+                run.capacityPages += event.span;
+            else
+                lastInject[{event.run, event.page}] = &event;
+        } else if (event.kind == "retire") {
+            ++online;
+            ++runs[event.run].retired;
+            const auto it =
+                lastInject.find({event.run, event.page});
+            attributions.push_back(
+                {it == lastInject.end() ? nullptr : it->second,
+                 &event});
+        } else if (event.kind == "remap") {
+            ++online;
+            ++runs[event.run].remaps[event.reason];
+        } else if (event.kind == "degrade") {
+            ++online;
+            RunStats &run = runs[event.run];
+            ++run.degrades;
+            run.backlog = event.backlog;
+        }
+    }
+
+    if (total == 0 && online == 0) {
         std::cout << "ramp_explain: no fault records (run FaultSim "
-                     "with --events-out to collect them)\n";
+                     "or an --inject campaign with --events-out to "
+                     "collect them)\n";
         return 1;
     }
-    TextTable modes({"tier mode", "faults"});
-    for (const auto &[key, count] : byTierMode)
-        modes.addRow({key, std::to_string(count)});
-    modes.print(std::cout, "uncorrected-trial faults by tier and "
-                           "mode (" +
-                               std::to_string(total) + " total)");
+    if (online == 0)
+        return 0;
 
-    std::vector<
-        std::pair<std::pair<std::string, std::uint64_t>,
-                  std::uint64_t>>
-        order(byPage.begin(), byPage.end());
-    std::sort(order.begin(), order.end(),
-              [](const auto &a, const auto &b) {
-                  if (a.second != b.second)
-                      return a.second > b.second;
-                  return a.first < b.first;
-              });
-    if (order.size() > 10)
-        order.resize(10);
-    TextTable pages({"run", "page", "faults"});
-    for (const auto &[key, count] : order)
-        pages.addRow({key.first, std::to_string(key.second),
-                      std::to_string(count)});
-    pages.print(std::cout, "most-struck pages (top " +
-                               std::to_string(order.size()) + ")");
+    TextTable summary({"run", "injected", "capacity_pages",
+                       "retired", "remap:retire", "remap:sweep",
+                       "remap:retry", "degrades", "backlog"});
+    for (const auto &[label, run] : runs) {
+        auto remap = [&](const char *reason) -> std::uint64_t {
+            const auto it = run.remaps.find(reason);
+            return it == run.remaps.end() ? 0 : it->second;
+        };
+        summary.addRow({label, std::to_string(run.injected),
+                        std::to_string(run.capacityPages),
+                        std::to_string(run.retired),
+                        std::to_string(remap("retire")),
+                        std::to_string(remap("sweep")),
+                        std::to_string(remap("retry")),
+                        std::to_string(run.degrades),
+                        num(run.backlog)});
+    }
+    summary.print(std::cout, "online fault injection (" +
+                                 std::to_string(online) +
+                                 " ledger records)");
+
+    if (!attributions.empty()) {
+        TextTable table({"run", "page", "inject_seq", "source",
+                         "fault", "retire_seq", "move", "hotness",
+                         "avf"});
+        for (const Attribution &attr : attributions) {
+            const Event &retire = *attr.retire;
+            table.addRow(
+                {retire.run, pageCell(retire.page),
+                 attr.inject == nullptr
+                     ? "-"
+                     : std::to_string(attr.inject->seq),
+                 attr.inject == nullptr ? "-"
+                                        : attr.inject->source,
+                 attr.inject == nullptr ? "-" : attr.inject->fault,
+                 std::to_string(retire.seq),
+                 retire.src + "->" + retire.dst,
+                 num(retire.hotness), num(retire.avf)});
+        }
+        table.print(std::cout,
+                    "retirement attribution (each retired page "
+                    "traced to the strike that killed it)");
+    }
     return 0;
 }
 
