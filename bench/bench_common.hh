@@ -21,12 +21,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "eventlog/eventlog.hh"
 #include "hma/experiment.hh"
 #include "perf/microbench.hh"
 #include "placement/profile.hh"
@@ -113,6 +115,103 @@ printMicrobenchTable(const std::vector<perf::BenchResult> &rows,
              TextTable::num(r.itemsPerSecond, 0)});
     }
     table.print(std::cout, title + " (times in ms)");
+}
+
+/**
+ * One placement policy under test: a static placement or a dynamic
+ * migration scheme. The policy-sweep benches (fault_storm,
+ * datacenter_service's per-tenant arbitration table) iterate one
+ * case list instead of hand-rolling parallel static/dynamic loops.
+ */
+struct PolicyCase
+{
+    std::string label;
+    bool isDynamic = false;
+    StaticPolicy policy = StaticPolicy::Balanced;
+    DynamicScheme scheme = DynamicScheme::PerfFocused;
+};
+
+/** The standard sweep: five static placements, three engines. */
+inline std::vector<PolicyCase>
+policyCases()
+{
+    std::vector<PolicyCase> cases;
+    for (const StaticPolicy policy :
+         {StaticPolicy::PerfFocused, StaticPolicy::ReliabilityFocused,
+          StaticPolicy::Balanced, StaticPolicy::WrRatio,
+          StaticPolicy::Wr2Ratio})
+        cases.push_back({policyName(policy), false, policy, {}});
+    for (const DynamicScheme scheme :
+         {DynamicScheme::PerfFocused, DynamicScheme::FcReliability,
+          DynamicScheme::CrossCounter})
+        cases.push_back(
+            {dynamicSchemeName(scheme), true, {}, scheme});
+    return cases;
+}
+
+/**
+ * Run one policy case clean, under a deterministic ledger scope.
+ * mapWorkloads does not label ledger runs the way runPasses does,
+ * so the scope label keeps fault/decision records sorting
+ * schedule-independently.
+ */
+inline SimResult
+runPolicyCase(const SystemConfig &config, const WorkloadData &data,
+              const PolicyCase &pc, const PageProfile &profile,
+              const std::string &scope_label)
+{
+    eventlog::RunScope scope(scope_label);
+    return pc.isDynamic
+               ? runDynamic(config, data, pc.scheme, profile)
+               : runStaticPolicy(config, data, pc.policy, profile);
+}
+
+/** Run one policy case under online fault injection. */
+inline SimResult
+runPolicyCaseFaulted(const SystemConfig &config,
+                     const WorkloadData &data, const PolicyCase &pc,
+                     const PageProfile &profile,
+                     const InjectorConfig &faults,
+                     const std::string &scope_label)
+{
+    eventlog::RunScope scope(scope_label);
+    return pc.isDynamic
+               ? runDynamicFaulted(config, data, pc.scheme, profile,
+                                   faults)
+               : runStaticFaulted(config, data, pc.policy, profile,
+                                  faults);
+}
+
+/**
+ * Parse a non-negative integer flag value or exit with usage
+ * status 2 — the shared shape of every bench's ad-hoc flag loop.
+ */
+inline std::uint64_t
+parseUnsignedFlag(const std::string &tool, const char *flag,
+                  const std::string &text)
+{
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+        std::cerr << tool << ": " << flag
+                  << " needs a non-negative integer, got '" << text
+                  << "'\n";
+        std::exit(2);
+    }
+    return parsed;
+}
+
+/** Fetch the value of flag i from a positional list, or exit 2. */
+inline const std::string &
+flagValue(const std::string &tool, const char *flag,
+          const std::vector<std::string> &positional, std::size_t &i)
+{
+    if (i + 1 >= positional.size()) {
+        std::cerr << tool << ": " << flag << " needs a value\n";
+        std::exit(2);
+    }
+    return positional[++i];
 }
 
 /**

@@ -65,28 +65,14 @@ parseStormOptions(const std::vector<std::string> &positional)
     std::string plan_text = defaultStorm;
     for (std::size_t i = 0; i < positional.size(); ++i) {
         const std::string &arg = positional[i];
-        auto value = [&](const char *flag) -> const std::string & {
-            if (i + 1 >= positional.size()) {
-                std::cerr << "fault_storm: " << flag
-                          << " needs a value\n";
-                std::exit(2);
-            }
-            return positional[++i];
-        };
         if (arg == "--inject") {
-            plan_text = value("--inject");
+            plan_text =
+                flagValue("fault_storm", "--inject", positional, i);
         } else if (arg == "--fault-seed") {
-            const std::string &text = value("--fault-seed");
-            char *end = nullptr;
-            const unsigned long long parsed =
-                std::strtoull(text.c_str(), &end, 10);
-            if (end == text.c_str() || *end != '\0') {
-                std::cerr << "fault_storm: --fault-seed needs a "
-                             "non-negative integer, got '"
-                          << text << "'\n";
-                std::exit(2);
-            }
-            options.seed = parsed;
+            options.seed = parseUnsignedFlag(
+                "fault_storm", "--fault-seed",
+                flagValue("fault_storm", "--fault-seed", positional,
+                          i));
         } else {
             std::cerr << "fault_storm: unknown argument '" << arg
                       << "'\n";
@@ -100,32 +86,6 @@ parseStormOptions(const std::vector<std::string> &positional)
         std::exit(2);
     }
     return options;
-}
-
-/** One policy under test: a static placement or a dynamic scheme. */
-struct PolicyCase
-{
-    std::string label;
-    bool isDynamic = false;
-    StaticPolicy policy = StaticPolicy::Balanced;
-    DynamicScheme scheme = DynamicScheme::PerfFocused;
-};
-
-std::vector<PolicyCase>
-policyCases()
-{
-    std::vector<PolicyCase> cases;
-    for (const StaticPolicy policy :
-         {StaticPolicy::PerfFocused, StaticPolicy::ReliabilityFocused,
-          StaticPolicy::Balanced, StaticPolicy::WrRatio,
-          StaticPolicy::Wr2Ratio})
-        cases.push_back({policyName(policy), false, policy, {}});
-    for (const DynamicScheme scheme :
-         {DynamicScheme::PerfFocused, DynamicScheme::FcReliability,
-          DynamicScheme::CrossCounter})
-        cases.push_back(
-            {dynamicSchemeName(scheme), true, {}, scheme});
-    return cases;
 }
 
 } // namespace
@@ -157,36 +117,15 @@ main(int argc, char **argv)
         };
         const auto passes = harness.mapWorkloads(
             profiled, [&](const ProfiledWorkloadPtr &wl) {
-                // mapWorkloads does not label ledger runs the way
-                // runPasses does; scope each pass explicitly so
-                // the fault records sort schedule-independently.
                 std::vector<PolicyPasses> out;
                 for (const PolicyCase &pc : cases) {
                     PolicyPasses pair;
-                    {
-                        eventlog::RunScope scope(
-                            wl->name() + "/" + pc.label + "/clean");
-                        pair.clean =
-                            pc.isDynamic
-                                ? runDynamic(config, wl->data,
-                                             pc.scheme,
-                                             wl->profile())
-                                : runStaticPolicy(config, wl->data,
-                                                  pc.policy,
-                                                  wl->profile());
-                    }
-                    {
-                        eventlog::RunScope scope(
-                            wl->name() + "/" + pc.label + "/storm");
-                        pair.storm =
-                            pc.isDynamic
-                                ? runDynamicFaulted(
-                                      config, wl->data, pc.scheme,
-                                      wl->profile(), faults)
-                                : runStaticFaulted(
-                                      config, wl->data, pc.policy,
-                                      wl->profile(), faults);
-                    }
+                    pair.clean = runPolicyCase(
+                        config, wl->data, pc, wl->profile(),
+                        wl->name() + "/" + pc.label + "/clean");
+                    pair.storm = runPolicyCaseFaulted(
+                        config, wl->data, pc, wl->profile(), faults,
+                        wl->name() + "/" + pc.label + "/storm");
                     pair.storm.label += "+storm";
                     out.push_back(std::move(pair));
                 }

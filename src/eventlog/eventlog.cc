@@ -101,6 +101,9 @@ drainRing(ThreadRing &ring)
 /** Innermost RunScope context of the calling thread. */
 thread_local detail::RunContext *currentContext = nullptr;
 
+/** Innermost TenantScope tenant of the calling thread (0 = none). */
+thread_local std::uint32_t currentTenant = 0;
+
 std::string
 escape(const std::string &text)
 {
@@ -270,6 +273,17 @@ RunScope::~RunScope()
     currentContext = previous_;
 }
 
+TenantScope::TenantScope(std::uint32_t tenant)
+    : previous_(currentTenant)
+{
+    currentTenant = tenant;
+}
+
+TenantScope::~TenantScope()
+{
+    currentTenant = previous_;
+}
+
 void
 emit(EventRecord record)
 {
@@ -297,6 +311,7 @@ emit(EventRecord record)
         s.recorded.fetch_add(1, std::memory_order_relaxed);
     }
 
+    record.tenant = currentTenant;
     detail::RunContext *context = currentContext;
     if (context != nullptr) {
         record.run = context->run;
@@ -353,6 +368,9 @@ recordJson(const EventRecord &record)
         << eventKindName(record.kind) << "\", \"policy\": \""
         << policyIdName(record.policy)
         << "\", \"epoch\": " << record.epoch;
+    // v2 addition; omitted when 0 so v1-era output is unchanged.
+    if (record.tenant != 0)
+        out << ", \"tenant\": " << record.tenant;
     switch (record.kind) {
       case EventKind::Epoch:
         // Score fields carry the boundary's move counts.
@@ -414,6 +432,16 @@ recordJson(const EventRecord &record)
             << tierName(record.src) << "\", \"dst\": \""
             << tierName(record.dst) << "\", \"reason\": \""
             << remapReasonName(record.detail) << "\"";
+        break;
+      case EventKind::Tenant:
+        // Per-tenant epoch summary from the placement service:
+        // `region` = home shard, `span` = arbiter grant pages,
+        // `moved` = HBM-resident pages, `hotness` = resident share.
+        out << ", \"shard\": " << record.region
+            << ", \"grant\": " << record.span
+            << ", \"resident\": " << record.moved
+            << ", \"hbm_share\": " << number(record.hotness)
+            << ", \"avf\": " << number(record.avf);
         break;
       case EventKind::Degrade:
         // `span` = capacity pages lost so far, `moved` = pages

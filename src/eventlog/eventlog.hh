@@ -112,6 +112,26 @@ class RunScope
 };
 
 /**
+ * Attribute this thread's records to a tenant until the scope
+ * closes (the multi-tenant placement service wraps each tenant's
+ * work in one). Scopes nest; the innermost wins; records emitted
+ * outside any scope carry tenant 0 and render exactly as before,
+ * so single-tenant tools never see the field.
+ */
+class TenantScope
+{
+  public:
+    explicit TenantScope(std::uint32_t tenant);
+    ~TenantScope();
+
+    TenantScope(const TenantScope &) = delete;
+    TenantScope &operator=(const TenantScope &) = delete;
+
+  private:
+    std::uint32_t previous_;
+};
+
+/**
  * Record one event (when enabled): stamps the calling thread's run
  * scope and sequence number, then appends to the thread's ring.
  */
@@ -136,8 +156,13 @@ std::string toJsonl(const std::string &tool);
 /** The trailing `n` records as a JSONL document (post-mortem). */
 std::string postMortemJsonl(const std::string &tool, std::size_t n);
 
-/** Schema identifier stamped into (and checked in) the header. */
-inline constexpr const char *eventsSchema = "ramp-events-v1";
+/**
+ * Schema identifier stamped into (and checked in) the header. v2
+ * adds the optional per-record `tenant` key (absent when 0); every
+ * v1 key is unchanged, so v1 readers that ignore unknown keys parse
+ * v2 documents unmodified.
+ */
+inline constexpr const char *eventsSchema = "ramp-events-v2";
 
 /** Drop all records, run labels, stats, and the cap (tests). */
 void reset();

@@ -21,6 +21,7 @@ eventKindName(EventKind kind)
       case EventKind::Retire: return "retire";
       case EventKind::Remap: return "remap";
       case EventKind::Degrade: return "degrade";
+      case EventKind::Tenant: return "tenant";
     }
     return "?";
 }
@@ -44,6 +45,7 @@ policyIdName(PolicyId policy)
       case PolicyId::FaultSim: return "faultsim";
       case PolicyId::RegionMigration: return "region-migration";
       case PolicyId::FaultInject: return "fault-inject";
+      case PolicyId::Service: return "service";
     }
     return "?";
 }
@@ -55,7 +57,7 @@ policyIdFromName(std::string_view name)
     // policy strings degrade to Unknown rather than erroring so
     // third-party engines can still be logged.
     for (int i = 0;
-         i <= static_cast<int>(PolicyId::FaultInject); ++i) {
+         i <= static_cast<int>(PolicyId::Service); ++i) {
         const auto id = static_cast<PolicyId>(i);
         if (name == policyIdName(id))
             return id;

@@ -74,6 +74,14 @@ enum class EventKind : std::uint8_t
 
     /** Run entered (or stayed in) degraded mode. */
     Degrade,
+
+    /**
+     * Per-tenant epoch summary from the placement service: region
+     * carries the home shard, span the arbiter's grant, moved the
+     * HBM-resident page count, hotness the resident share, and avf
+     * the tenant's mean AVF.
+     */
+    Tenant,
 };
 
 /** Stable lower-case name ("place", "promote", ...). */
@@ -97,6 +105,7 @@ enum class PolicyId : std::uint8_t
     FaultSim,
     RegionMigration,
     FaultInject,
+    Service,
 };
 
 /** Stable name, matching policyName()/engine name() spellings. */
@@ -169,6 +178,13 @@ struct EventRecord
 
     /** Position within the run's record stream. */
     std::uint32_t seq = 0;
+
+    /**
+     * Owning tenant (0 = no tenant). Stamped by emit() from the
+     * thread's enclosing TenantScope; rendered to JSONL only when
+     * non-zero, so ramp-events-v1 readers are unaffected.
+     */
+    std::uint32_t tenant = 0;
 
     EventKind kind = EventKind::Place;
     PolicyId policy = PolicyId::Unknown;

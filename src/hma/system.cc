@@ -542,6 +542,15 @@ HmaSystem::run(const std::vector<CoreTrace> &traces,
                PlacementMap placement, MigrationEngine *engine,
                FaultInjector *injector)
 {
+    return runInPlace(traces, placement, engine, injector);
+}
+
+SimResult
+HmaSystem::runInPlace(const std::vector<CoreTrace> &traces,
+                      PlacementMap &placement,
+                      MigrationEngine *engine,
+                      FaultInjector *injector)
+{
     if (static_cast<int>(traces.size()) > config_.cores)
         ramp_fatal("more traces than configured cores");
 

@@ -124,6 +124,18 @@ class HmaSystem
                   MigrationEngine *engine = nullptr,
                   FaultInjector *injector = nullptr);
 
+    /**
+     * run() on a caller-owned placement map that survives the run
+     * (run() delegates here with its by-value copy). The placement
+     * service replays many per-tenant epoch slices against one
+     * shard map, so the map must accumulate mutations — frame
+     * allocations, migrations, retirements — across runs.
+     */
+    SimResult runInPlace(const std::vector<CoreTrace> &traces,
+                         PlacementMap &placement,
+                         MigrationEngine *engine = nullptr,
+                         FaultInjector *injector = nullptr);
+
     /** The configuration this system was built with. */
     const SystemConfig &config() const { return config_; }
 

@@ -59,6 +59,17 @@ hostJson()
     return out.str();
 }
 
+/** Gauge value from a snapshot, NaN when never registered. */
+double
+gaugeOr(const telemetry::MetricsSnapshot &snap,
+        const std::string &name)
+{
+    const auto it = snap.gauges.find(name);
+    return it == snap.gauges.end()
+               ? std::numeric_limits<double>::quiet_NaN()
+               : it->second;
+}
+
 } // namespace
 
 std::string
@@ -115,6 +126,35 @@ renderBenchReport(const BenchReportSpec &spec)
         << "    \"tasks\": " << tasks << ",\n"
         << "    \"events\": " << spec.eventRecords << "\n"
         << "  },\n";
+
+    // The multi-tenant placement service family, present only when
+    // the tool ran the service (other tools' documents unchanged).
+    if (snap.counterOr("service.streams_admitted") != 0) {
+        const std::uint64_t served =
+            snap.counterOr("service.requests_served");
+        out << "  \"service\": {\n"
+            << "    \"tenants\": "
+            << snap.counterOr("service.streams_admitted") << ",\n"
+            << "    \"shards\": "
+            << jsonNumber(gaugeOr(snap, "service.shards")) << ",\n"
+            << "    \"arbitration_rounds\": "
+            << snap.counterOr("service.arbitration_rounds") << ",\n"
+            << "    \"quota_clips\": "
+            << snap.counterOr("service.quota_clips") << ",\n"
+            << "    \"rebalance_moves\": "
+            << snap.counterOr("service.rebalance_moves") << ",\n"
+            << "    \"faults_applied\": "
+            << snap.counterOr("service.faults_applied") << ",\n"
+            << "    \"aggregate_accesses_per_second\": "
+            << jsonNumber(perSecond(served, spec.wallSeconds))
+            << ",\n"
+            << "    \"fairness_index\": "
+            << jsonNumber(gaugeOr(snap, "service.fairness_index"))
+            << ",\n"
+            << "    \"p99_slowdown\": "
+            << jsonNumber(gaugeOr(snap, "service.p99_slowdown"))
+            << "\n  },\n";
+    }
 
     const BenchPassSummary &passes = spec.passes;
     out << "  \"passes\": {\n"
@@ -272,6 +312,23 @@ compareBenchReports(const JsonValue &baseline,
                         {"throughput", "events_per_second"}),
                options.eventlogPct * relax, true,
                options.minPerSecond);
+    // The multi-tenant service family: absent from non-service
+    // documents, where the NaN side skips the comparison.
+    compareOne(diffs, "service.aggregate_accesses_per_second",
+               numberAt(baseline,
+                        {"service", "aggregate_accesses_per_second"}),
+               numberAt(candidate,
+                        {"service", "aggregate_accesses_per_second"}),
+               options.servicePct * relax, true,
+               options.minPerSecond);
+    compareOne(diffs, "service.fairness_index",
+               numberAt(baseline, {"service", "fairness_index"}),
+               numberAt(candidate, {"service", "fairness_index"}),
+               options.fairnessPct * relax, true, 0.01);
+    compareOne(diffs, "service.p99_slowdown",
+               numberAt(baseline, {"service", "p99_slowdown"}),
+               numberAt(candidate, {"service", "p99_slowdown"}),
+               options.servicePct * relax, false, 1e-3);
     compareOne(diffs, "resources.peak_rss_bytes",
                numberAt(baseline, {"resources", "peak_rss_bytes"}),
                numberAt(candidate, {"resources", "peak_rss_bytes"}),

@@ -116,6 +116,16 @@ struct DiffOptions
      * chatty the policies are, so its noise band is wider. */
     double eventlogPct = 60;
 
+    /**
+     * Multi-tenant service family (the "service" block emitted by
+     * datacenter_service): aggregate accesses/sec regresses
+     * downward, p99 slowdown upward, both inside this band. The
+     * fairness index is bounded in [0, 1] and nearly noise-free, so
+     * it gets its own much tighter band.
+     */
+    double servicePct = 40;
+    double fairnessPct = 5;
+
     /** Multiplies every threshold (CLI --relax). */
     double relax = 1.0;
 

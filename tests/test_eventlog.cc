@@ -137,6 +137,10 @@ TEST_F(EventlogTest, JsonlIsParseableAndSelfDescribing)
         eventlog::RunScope scope("test/jsonl");
         eventlog::emit(placeRecord(7));
 
+        // The second record carries a tenant stamp (v2): rendered
+        // on this record only, so single-tenant output is
+        // unchanged from v1.
+        eventlog::TenantScope tenant(42);
         eventlog::EventRecord swap;
         swap.kind = eventlog::EventKind::SwapOut;
         swap.policy = eventlog::PolicyId::PerfMigration;
@@ -146,7 +150,9 @@ TEST_F(EventlogTest, JsonlIsParseableAndSelfDescribing)
         swap.dst = eventlog::Tier::Ddr;
         swap.epoch = 1000;
         eventlog::emit(swap);
-
+    }
+    {
+        eventlog::RunScope scope("test/jsonl");
         eventlog::EventRecord epoch;
         epoch.kind = eventlog::EventKind::Epoch;
         epoch.policy = eventlog::PolicyId::PerfMigration;
@@ -178,7 +184,7 @@ TEST_F(EventlogTest, JsonlIsParseableAndSelfDescribing)
     }
     ASSERT_EQ(docs.size(), 5u); // header + 4 records
 
-    EXPECT_EQ(docs[0].stringOr("schema", ""), "ramp-events-v1");
+    EXPECT_EQ(docs[0].stringOr("schema", ""), "ramp-events-v2");
     EXPECT_EQ(docs[0].stringOr("tool", ""), "test_eventlog");
     EXPECT_DOUBLE_EQ(docs[0].numberOr("records", 0), 4.0);
     EXPECT_DOUBLE_EQ(docs[0].numberOr("dropped", -1), 0.0);
@@ -187,11 +193,14 @@ TEST_F(EventlogTest, JsonlIsParseableAndSelfDescribing)
     EXPECT_EQ(docs[1].stringOr("run", ""), "test/jsonl");
     EXPECT_DOUBLE_EQ(docs[1].numberOr("page", -1), 7.0);
     EXPECT_EQ(docs[1].stringOr("dst", ""), "hbm");
+    // No TenantScope active: the v2 key is omitted entirely.
+    EXPECT_EQ(docs[1].find("tenant"), nullptr);
 
     EXPECT_EQ(docs[2].stringOr("kind", ""), "swap-out");
     EXPECT_DOUBLE_EQ(docs[2].numberOr("partner", -1), 9.0);
     EXPECT_EQ(docs[2].stringOr("src", ""), "hbm");
     EXPECT_EQ(docs[2].stringOr("dst", ""), "ddr");
+    EXPECT_DOUBLE_EQ(docs[2].numberOr("tenant", -1), 42.0);
 
     EXPECT_EQ(docs[3].stringOr("kind", ""), "epoch");
     EXPECT_DOUBLE_EQ(docs[3].numberOr("promoted", -1), 2.0);

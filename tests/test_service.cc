@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the multi-tenant placement service (src/service).
+ *
+ * Locks the service's structural guarantees: deterministic shard
+ * routing and --jobs-invariant per-tenant results, the arbiter's
+ * conservation invariants (grants never exceed capacity, demand, or
+ * the fair-share quota), the fair-share vs reliability-weighted
+ * ordering on a hand-built two-tenant contention scenario, and
+ * bit-exactness of a single-tenant single-shard service run against
+ * the same workload driven through a bare HmaSystem.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "runner/pool.hh"
+#include "service/service.hh"
+
+namespace ramp
+{
+namespace
+{
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig config = SystemConfig::scaledDefault();
+    config.cores = 4;
+    return config;
+}
+
+service::TenantSpec
+smallSpec(std::uint32_t id)
+{
+    service::TenantSpec spec;
+    spec.id = id;
+    spec.footprintPages = 256;
+    spec.requests = 4096;
+    spec.cores = 2;
+    spec.zipfSkew = 0.7;
+    spec.writeFraction = 0.25;
+    spec.seed = 100 + id;
+    spec.hbmQuotaFraction = 0.5;
+    spec.relClass = static_cast<service::ReliabilityClass>(id % 3);
+    return spec;
+}
+
+service::ServiceResult
+runService(const SystemConfig &system,
+           const service::ServiceConfig &config,
+           std::uint32_t tenants, unsigned jobs)
+{
+    service::PlacementService placement(system, config);
+    for (std::uint32_t id = 1; id <= tenants; ++id)
+        EXPECT_TRUE(placement.admit(smallSpec(id)));
+    runner::ThreadPool pool(jobs);
+    return placement.run(pool);
+}
+
+TEST(ServiceRouting, HashIsDeterministicAndInRange)
+{
+    for (unsigned shards : {1u, 2u, 5u, 16u}) {
+        for (std::uint32_t id = 1; id < 200; ++id) {
+            const unsigned a = service::shardOf(id, shards, 42);
+            const unsigned b = service::shardOf(id, shards, 42);
+            EXPECT_EQ(a, b);
+            EXPECT_LT(a, shards);
+        }
+    }
+    // A different salt reshuffles at least one tenant (16 shards,
+    // 200 tenants: astronomically unlikely to collide entirely).
+    bool moved = false;
+    for (std::uint32_t id = 1; id < 200 && !moved; ++id)
+        moved = service::shardOf(id, 16, 1) !=
+                service::shardOf(id, 16, 2);
+    EXPECT_TRUE(moved);
+}
+
+TEST(ServiceRouting, PageNamespaceRoundTrips)
+{
+    for (std::uint32_t id : {1u, 7u, 200u, 65535u}) {
+        const PageId base = service::tenantBasePage(id);
+        EXPECT_EQ(service::tenantOfPage(base), id);
+        EXPECT_EQ(service::tenantOfPage(base + 1000), id);
+    }
+}
+
+TEST(ServiceRouting, ResultsInvariantUnderJobs)
+{
+    const SystemConfig system = smallConfig();
+    service::ServiceConfig config;
+    config.shards = 3;
+    config.epochs = 3;
+    config.soloBaselines = true;
+
+    const service::ServiceResult serial =
+        runService(system, config, 9, 1);
+    const service::ServiceResult wide =
+        runService(system, config, 9, 4);
+
+    ASSERT_EQ(serial.tenants.size(), wide.tenants.size());
+    for (std::size_t i = 0; i < serial.tenants.size(); ++i) {
+        const service::TenantResult &a = serial.tenants[i];
+        const service::TenantResult &b = wide.tenants[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.shard, b.shard);
+        EXPECT_EQ(a.requests, b.requests);
+        EXPECT_EQ(a.instructions, b.instructions);
+        EXPECT_EQ(a.makespan, b.makespan);
+        EXPECT_EQ(a.soloMakespan, b.soloMakespan);
+        EXPECT_EQ(a.grantedPages, b.grantedPages);
+        EXPECT_EQ(a.quotaClips, b.quotaClips);
+        EXPECT_EQ(a.movedPages, b.movedPages);
+        EXPECT_DOUBLE_EQ(a.meanHbmPages, b.meanHbmPages);
+        EXPECT_DOUBLE_EQ(a.ser, b.ser);
+    }
+    EXPECT_DOUBLE_EQ(serial.fairnessIndex, wide.fairnessIndex);
+    EXPECT_EQ(serial.quotaClips, wide.quotaClips);
+    EXPECT_EQ(serial.rebalanceMoves, wide.rebalanceMoves);
+}
+
+TEST(ServiceArbiter, GrantsConserveCapacityAndDemand)
+{
+    std::vector<service::TenantDemand> demands;
+    for (std::uint32_t id = 1; id <= 6; ++id) {
+        service::TenantDemand demand;
+        demand.id = id;
+        demand.demandPages = 100 * id;
+        demand.quotaFraction = 0.4;
+        demand.classWeight =
+            service::reliabilityClassWeight(
+                static_cast<service::ReliabilityClass>(id % 3));
+        demand.meanAvf = 0.1 * static_cast<double>(id);
+        demand.priority = static_cast<int>(id % 2);
+        demands.push_back(demand);
+    }
+    for (const service::ArbiterPolicy policy :
+         {service::ArbiterPolicy::FairShare,
+          service::ArbiterPolicy::ReliabilityWeighted}) {
+        for (const std::uint64_t capacity :
+             {std::uint64_t{0}, std::uint64_t{50},
+              std::uint64_t{500}, std::uint64_t{100000}}) {
+            std::uint64_t clips = 0;
+            const std::vector<std::uint64_t> grants =
+                service::arbitrate(policy, capacity, demands,
+                                   &clips);
+            ASSERT_EQ(grants.size(), demands.size());
+            std::uint64_t total = 0;
+            for (std::size_t i = 0; i < grants.size(); ++i) {
+                EXPECT_LE(grants[i], demands[i].demandPages);
+                total += grants[i];
+            }
+            EXPECT_LE(total, capacity);
+            if (policy == service::ArbiterPolicy::FairShare) {
+                // Strict quotas, normalized when oversubscribed:
+                // sum_qf = 2.4, so each tenant's ceiling is
+                // capacity * 0.4 / 2.4.
+                for (const std::uint64_t grant : grants)
+                    EXPECT_LE(grant,
+                              static_cast<std::uint64_t>(
+                                  static_cast<double>(capacity) *
+                                  0.4 / 2.4) +
+                                  1);
+            }
+        }
+    }
+}
+
+TEST(ServiceArbiter, ReliabilityWeightedFavorsCriticalTenants)
+{
+    // Two identical tenants contending 2:1 for capacity; they
+    // differ only in reliability class and measured AVF.
+    std::vector<service::TenantDemand> demands(2);
+    demands[0].id = 1;
+    demands[0].demandPages = 1000;
+    demands[0].quotaFraction = 1.0;
+    demands[0].classWeight = service::reliabilityClassWeight(
+        service::ReliabilityClass::Critical);
+    demands[0].meanAvf = 0.8;
+    demands[1].id = 2;
+    demands[1].demandPages = 1000;
+    demands[1].quotaFraction = 1.0;
+    demands[1].classWeight = service::reliabilityClassWeight(
+        service::ReliabilityClass::Tolerant);
+    demands[1].meanAvf = 0.1;
+
+    const std::uint64_t capacity = 1000;
+    const std::vector<std::uint64_t> fair = service::arbitrate(
+        service::ArbiterPolicy::FairShare, capacity, demands);
+    const std::vector<std::uint64_t> weighted =
+        service::arbitrate(
+            service::ArbiterPolicy::ReliabilityWeighted, capacity,
+            demands);
+
+    // Fair-share ignores the classes: equal quotas, equal grants.
+    ASSERT_EQ(fair.size(), 2u);
+    EXPECT_EQ(fair[0], fair[1]);
+
+    // Reliability-weighted tilts toward the critical, high-AVF
+    // tenant — strictly more than its fair share and than its
+    // tolerant competitor.
+    ASSERT_EQ(weighted.size(), 2u);
+    EXPECT_GT(weighted[0], weighted[1]);
+    EXPECT_GT(weighted[0], fair[0]);
+    EXPECT_LE(weighted[0] + weighted[1], capacity);
+}
+
+TEST(ServiceAdmission, RejectsInvalidSpecs)
+{
+    const SystemConfig system = smallConfig();
+    service::PlacementService placement(system, {});
+
+    service::TenantSpec zero_id = smallSpec(1);
+    zero_id.id = 0;
+    EXPECT_FALSE(placement.admit(zero_id));
+
+    EXPECT_TRUE(placement.admit(smallSpec(1)));
+    EXPECT_FALSE(placement.admit(smallSpec(1))); // duplicate
+
+    service::TenantSpec bad_quota = smallSpec(2);
+    bad_quota.hbmQuotaFraction = 0.0;
+    EXPECT_FALSE(placement.admit(bad_quota));
+    bad_quota.hbmQuotaFraction = 1.5;
+    EXPECT_FALSE(placement.admit(bad_quota));
+
+    service::TenantSpec too_wide = smallSpec(3);
+    too_wide.cores =
+        static_cast<std::uint32_t>(system.cores) + 1;
+    EXPECT_FALSE(placement.admit(too_wide));
+
+    EXPECT_EQ(placement.tenantCount(), 1u);
+}
+
+TEST(ServiceEquivalence, SingleTenantMatchesBareSystem)
+{
+    // One tenant, one shard, one epoch, full quota: the service is
+    // exactly "profile, place the granted hot-set prefix, run" —
+    // the same steps driven by hand through a bare HmaSystem must
+    // produce bit-identical performance and reliability numbers.
+    const SystemConfig system = smallConfig();
+    service::TenantSpec spec = smallSpec(1);
+    spec.hbmQuotaFraction = 1.0;
+
+    service::ServiceConfig config;
+    config.shards = 1;
+    config.epochs = 1;
+
+    service::PlacementService placement(system, config);
+    ASSERT_TRUE(placement.admit(spec));
+    runner::ThreadPool pool(2);
+    const service::ServiceResult result = placement.run(pool);
+    ASSERT_EQ(result.tenants.size(), 1u);
+    const service::TenantResult &tenant = result.tenants[0];
+
+    // The bare equivalent of the service's single epoch.
+    const std::vector<CoreTrace> traces =
+        service::buildTenantTrace(spec);
+    const PageProfile profile =
+        service::profileTenantTrace(traces);
+    const auto ranking = profile.sortedByDescending(
+        [](const PageStats &stats) { return stats.hotness(); });
+    const double mean_hotness = profile.meanHotness();
+    std::uint64_t demand = 0;
+    for (const auto &entry : ranking) {
+        if (static_cast<double>(entry.second.hotness()) <
+            mean_hotness)
+            break;
+        ++demand;
+    }
+    demand = std::max<std::uint64_t>(1, demand);
+
+    const std::uint64_t capacity = system.hbmPages();
+    const std::uint64_t grant = std::min(demand, capacity);
+    PlacementMap map(capacity);
+    const std::size_t target =
+        std::min<std::size_t>(grant, ranking.size());
+    for (std::size_t i = 0; i < target; ++i) {
+        if (map.hbmFreePages() == 0)
+            break;
+        map.place(ranking[i].first, MemoryId::HBM);
+    }
+    HmaSystem bare(system);
+    const SimResult expected = bare.run(traces, map);
+
+    EXPECT_EQ(tenant.requests, expected.requests);
+    EXPECT_EQ(tenant.instructions, expected.instructions);
+    EXPECT_EQ(tenant.makespan, expected.makespan);
+    EXPECT_DOUBLE_EQ(tenant.ser, expected.ser);
+    EXPECT_EQ(tenant.grantedPages, grant);
+    EXPECT_EQ(tenant.demandPages,
+              std::max<std::uint64_t>(
+                  1, expected.profile.footprintPages()));
+}
+
+TEST(ServiceFaults, StormDegradesOnlyTheStruckShard)
+{
+    const SystemConfig system = smallConfig();
+    service::ServiceConfig config;
+    config.shards = 2;
+    config.epochs = 3;
+    std::string error;
+    config.faultPlan = parseFaultPlan(
+        "uncorrected:page=3,epoch=2;capacity:tier=hbm,pct=25,"
+        "epoch=2",
+        error);
+    ASSERT_TRUE(error.empty()) << error;
+    config.faultShard = 0;
+
+    const service::ServiceResult result =
+        runService(system, config, 8, 2);
+
+    ASSERT_EQ(result.shards.size(), 2u);
+    EXPECT_TRUE(result.shards[0].degraded);
+    EXPECT_GT(result.shards[0].faultsApplied, 0u);
+    EXPECT_GT(result.shards[0].capacityLostPages, 0u);
+    EXPECT_FALSE(result.shards[1].degraded);
+    EXPECT_EQ(result.shards[1].faultsApplied, 0u);
+
+    // Degradation is attributed tenant by tenant along the
+    // routing: exactly the tenants homed on shard 0.
+    for (const service::TenantResult &tenant : result.tenants)
+        EXPECT_EQ(tenant.degraded, tenant.shard == 0u);
+}
+
+} // namespace
+} // namespace ramp

@@ -45,6 +45,10 @@ usage()
         "(default 50)\n"
         "  --eventlog-pct P  decision-ledger threshold "
         "(default 60)\n"
+        "  --service-pct P   multi-tenant service threshold "
+        "(default 40;\n"
+        "                    the fairness index keeps its own "
+        "tight 5%% band)\n"
         "  --family PREFIX   only compare metrics whose name "
         "starts\n"
         "                    with PREFIX (repeatable), so one "
@@ -130,6 +134,9 @@ main(int argc, char **argv)
         } else if (arg == "--eventlog-pct") {
             options.eventlogPct = parsePositive(
                 "--eventlog-pct", value("--eventlog-pct"));
+        } else if (arg == "--service-pct") {
+            options.servicePct = parsePositive(
+                "--service-pct", value("--service-pct"));
         } else if (arg == "--family") {
             options.families.push_back(value("--family"));
         } else if (!arg.empty() && arg[0] == '-') {

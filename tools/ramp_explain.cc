@@ -14,6 +14,9 @@
  *                       with their recorded hotness/risk quadrant
  *   --migration-churn   ping-pong detection per run
  *   --faults            fault-to-placement attribution
+ *   --tenants           per-tenant placement-service summary
+ *   --tenant ID         narrow every query to one tenant's records
+ *                       (the ramp-events-v2 `tenant` stamp)
  *
  * With no query, prints a per-run ledger summary. Queries combine;
  * each prints its own table. Records are ordered by (run label,
@@ -45,7 +48,11 @@ using namespace ramp;
 namespace
 {
 
-constexpr const char *eventsSchema = "ramp-events-v1";
+/** Accepted schemas: v2 added the optional per-record `tenant`
+ * field (and the tenant record kind); every v1 analysis reads a v2
+ * file unchanged because the new key defaults to 0 when absent. */
+constexpr const char *eventsSchemaV1 = "ramp-events-v1";
+constexpr const char *eventsSchemaV2 = "ramp-events-v2";
 constexpr std::uint64_t noPage = UINT64_MAX;
 
 /** One ledger record, denormalized from its JSONL line. */
@@ -53,6 +60,7 @@ struct Event
 {
     std::string run;
     std::uint64_t seq = 0;
+    std::uint64_t tenant = 0; ///< 0 = outside any tenant (v1 files)
     std::string kind;
     std::string policy;
     std::uint64_t epoch = 0;
@@ -77,6 +85,10 @@ struct Event
     double threshHot = NAN;
     double threshRisk = NAN;
     double moved = NAN; ///< epoch records
+    std::uint64_t shard = noPage; ///< tenant records
+    std::uint64_t grant = 0; ///< tenant records
+    std::uint64_t resident = 0; ///< tenant records
+    double hbmShare = NAN; ///< tenant records
 };
 
 void
@@ -91,6 +103,9 @@ usage()
         "  --migration-churn  tier ping-pong per run\n"
         "  --faults           fault-to-placement attribution\n"
         "  --region           region merge/split/scheme timeline\n"
+        "  --tenants          per-tenant service summary\n"
+        "  --tenant ID        restrict every query to one tenant's\n"
+        "                     records (ramp-events-v2 files)\n"
         "\n"
         "No query prints a per-run summary. Exit: 0 ok, 1 empty\n"
         "result, 2 usage/malformed input.\n");
@@ -148,9 +163,11 @@ loadEvents(const std::string &path, std::vector<Event> &events,
         }
         if (!saw_header) {
             const std::string schema = value.stringOr("schema", "");
-            if (schema != eventsSchema) {
+            if (schema != eventsSchemaV1 &&
+                schema != eventsSchemaV2) {
                 error = path + ": not a " +
-                        std::string(eventsSchema) +
+                        std::string(eventsSchemaV1) + " / " +
+                        std::string(eventsSchemaV2) +
                         " file (schema '" + schema + "')";
                 return false;
             }
@@ -160,6 +177,7 @@ loadEvents(const std::string &path, std::vector<Event> &events,
         Event event;
         event.run = value.stringOr("run", "unattributed");
         event.seq = idOr(value, "seq", 0);
+        event.tenant = idOr(value, "tenant", 0);
         event.kind = value.stringOr("kind", "?");
         event.policy = value.stringOr("policy", "?");
         event.epoch = idOr(value, "epoch", 0);
@@ -184,6 +202,10 @@ loadEvents(const std::string &path, std::vector<Event> &events,
         event.threshHot = value.numberOr("thresh_hot", NAN);
         event.threshRisk = value.numberOr("thresh_risk", NAN);
         event.moved = value.numberOr("moved", NAN);
+        event.shard = idOr(value, "shard", noPage);
+        event.grant = idOr(value, "grant", 0);
+        event.resident = idOr(value, "resident", 0);
+        event.hbmShare = value.numberOr("hbm_share", NAN);
         events.push_back(std::move(event));
     }
     if (!saw_header) {
@@ -653,6 +675,88 @@ queryRegion(const std::vector<Event> &events)
 }
 
 int
+queryTenants(const std::vector<Event> &events)
+{
+    // Per-tenant service summary, driven by the tenant-kind records
+    // the placement service emits once per (tenant, epoch) plus the
+    // tenant stamp every other record carries. Tenant id order, so
+    // the same file prints the same table at any --jobs width.
+    struct TenantSummary
+    {
+        std::uint64_t shard = noPage;
+        std::uint64_t epochs = 0;
+        std::uint64_t lastGrant = 0;
+        double residentSum = 0;
+        double shareSum = 0;
+        double avfSum = 0;
+        std::uint64_t promotes = 0;
+        std::uint64_t evicts = 0;
+        std::uint64_t places = 0;
+        std::uint64_t retires = 0;
+    };
+    std::map<std::uint64_t, TenantSummary> tenants;
+    for (const Event &event : events) {
+        if (event.kind == "tenant") {
+            TenantSummary &tenant = tenants[event.tenant];
+            tenant.shard = event.shard;
+            ++tenant.epochs;
+            tenant.lastGrant = event.grant;
+            tenant.residentSum +=
+                static_cast<double>(event.resident);
+            if (std::isfinite(event.hbmShare))
+                tenant.shareSum += event.hbmShare;
+            if (std::isfinite(event.avf))
+                tenant.avfSum += event.avf;
+            continue;
+        }
+        if (event.tenant == 0)
+            continue;
+        TenantSummary &tenant = tenants[event.tenant];
+        if (event.kind == "promote")
+            ++tenant.promotes;
+        else if (event.kind == "evict")
+            ++tenant.evicts;
+        else if (event.kind == "place")
+            ++tenant.places;
+        else if (event.kind == "retire")
+            ++tenant.retires;
+    }
+    if (tenants.empty()) {
+        std::cout << "ramp_explain: no tenant records (run the "
+                     "placement service with --events-out to "
+                     "collect them)\n";
+        return 1;
+    }
+    TextTable table({"tenant", "shard", "epochs", "grant",
+                     "mean_resident", "mean_hbm_share", "mean_avf",
+                     "places", "promotes", "evicts", "retires"});
+    for (const auto &[id, tenant] : tenants) {
+        const double epochs =
+            tenant.epochs > 0
+                ? static_cast<double>(tenant.epochs)
+                : 1.0;
+        table.addRow({std::to_string(id), pageCell(tenant.shard),
+                      std::to_string(tenant.epochs),
+                      std::to_string(tenant.lastGrant),
+                      num(tenant.residentSum / epochs),
+                      tenant.epochs > 0
+                          ? num(tenant.shareSum / epochs, 4)
+                          : "-",
+                      tenant.epochs > 0
+                          ? num(tenant.avfSum / epochs, 4)
+                          : "-",
+                      std::to_string(tenant.places),
+                      std::to_string(tenant.promotes),
+                      std::to_string(tenant.evicts),
+                      std::to_string(tenant.retires)});
+    }
+    table.print(std::cout,
+                "tenant summary (" +
+                    std::to_string(tenants.size()) + " tenants)");
+    return 0;
+}
+
+int
 summarize(const std::vector<Event> &events)
 {
     if (events.empty()) {
@@ -705,8 +809,11 @@ main(int argc, char **argv)
     bool want_churn = false;
     bool want_faults = false;
     bool want_region = false;
+    bool want_tenants = false;
+    bool have_tenant_filter = false;
     std::uint64_t page = noPage;
     std::uint64_t regret_k = 10;
+    std::uint64_t tenant_filter = 0;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -736,6 +843,12 @@ main(int argc, char **argv)
             want_faults = true;
         } else if (arg == "--region") {
             want_region = true;
+        } else if (arg == "--tenants") {
+            want_tenants = true;
+        } else if (arg == "--tenant") {
+            have_tenant_filter = true;
+            tenant_filter =
+                parseCount("--tenant", value("--tenant"));
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "ramp_explain: unknown flag '%s'\n",
@@ -758,6 +871,13 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // The tenant filter narrows every query (and the default
+    // summary) to one tenant's records before any analysis runs.
+    if (have_tenant_filter)
+        std::erase_if(events, [&](const Event &event) {
+            return event.tenant != tenant_filter;
+        });
+
     int code = 0;
     bool ran = false;
     if (want_page) {
@@ -778,6 +898,10 @@ main(int argc, char **argv)
     }
     if (want_region) {
         code = std::max(code, queryRegion(events));
+        ran = true;
+    }
+    if (want_tenants) {
+        code = std::max(code, queryTenants(events));
         ran = true;
     }
     if (!ran)
