@@ -195,6 +195,29 @@ degradeReasonName(std::uint8_t detail)
     return "?";
 }
 
+/** Alert severity spellings (health/rules.hh order). */
+const char *
+alertSeverityName(std::uint8_t detail)
+{
+    static const char *const names[] = {"warn", "alert"};
+    if (detail < sizeof(names) / sizeof(names[0]))
+        return names[detail];
+    return "?";
+}
+
+/** Alert signal spellings (health/rules.hh order). */
+const char *
+alertSignalName(std::uint32_t signal)
+{
+    static const char *const names[] = {
+        "p99_slowdown", "fairness",  "fault_backlog",
+        "churn",        "degraded",  "slowdown",
+        "hbm_share",    "shard_occupancy", "shard_degraded"};
+    if (signal < sizeof(names) / sizeof(names[0]))
+        return names[signal];
+    return "?";
+}
+
 std::string
 headerJson(const std::string &tool, std::uint64_t records,
            std::uint64_t dropped)
@@ -334,6 +357,13 @@ emit(EventRecord record)
 }
 
 std::string
+currentRunLabel()
+{
+    detail::RunContext *context = currentContext;
+    return runLabel(context != nullptr ? context->run : 0);
+}
+
+std::string
 runLabel(std::uint32_t run)
 {
     Store &s = store();
@@ -442,6 +472,20 @@ recordJson(const EventRecord &record)
             << ", \"resident\": " << record.moved
             << ", \"hbm_share\": " << number(record.hotness)
             << ", \"avf\": " << number(record.avf);
+        break;
+      case EventKind::Alert:
+        // `span` = rule index, `region` = signal index, `detail` =
+        // severity, `moved` = shard index + 1 (0 = run-wide),
+        // `hotness` = measured value, `threshHot` = threshold.
+        out << ", \"severity\": \""
+            << alertSeverityName(record.detail)
+            << "\", \"rule\": " << record.span
+            << ", \"signal\": \"" << alertSignalName(record.region)
+            << "\"";
+        if (record.moved != 0)
+            out << ", \"shard\": " << record.moved - 1;
+        out << ", \"value\": " << number(record.hotness)
+            << ", \"threshold\": " << number(record.threshHot);
         break;
       case EventKind::Degrade:
         // `span` = capacity pages lost so far, `moved` = pages

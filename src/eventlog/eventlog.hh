@@ -140,6 +140,14 @@ void emit(EventRecord record);
 /** The label of a run id ("unattributed" for 0 / unknown ids). */
 std::string runLabel(std::uint32_t run);
 
+/**
+ * The label of the calling thread's innermost RunScope
+ * ("unattributed" outside any scope). The health timeline stamps
+ * its samples with this, keying them to the same run streams as the
+ * ledger.
+ */
+std::string currentRunLabel();
+
 /** Every record collected so far, in drain order (tests). */
 std::vector<EventRecord> collect();
 

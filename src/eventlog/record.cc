@@ -22,6 +22,7 @@ eventKindName(EventKind kind)
       case EventKind::Remap: return "remap";
       case EventKind::Degrade: return "degrade";
       case EventKind::Tenant: return "tenant";
+      case EventKind::Alert: return "alert";
     }
     return "?";
 }

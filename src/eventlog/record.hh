@@ -82,6 +82,14 @@ enum class EventKind : std::uint8_t
      * the tenant's mean AVF.
      */
     Tenant,
+
+    /**
+     * Health monitor rule fired (health/health.hh): span carries
+     * the rule index, region the signal index, detail the severity,
+     * moved the shard index + 1 (0 = run-wide), hotness the
+     * measured value, and threshHot the rule's threshold.
+     */
+    Alert,
 };
 
 /** Stable lower-case name ("place", "promote", ...). */

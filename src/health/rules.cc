@@ -1,0 +1,275 @@
+#include "health/rules.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ramp::health
+{
+
+namespace
+{
+
+/** Trimmed copy (the grammar ignores whitespace around tokens). */
+std::string
+trim(const std::string &text)
+{
+    const auto begin = text.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = text.find_last_not_of(" \t");
+    return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream in(text);
+    while (std::getline(in, part, sep))
+        parts.push_back(trim(part));
+    return parts;
+}
+
+bool
+parseNumber(const std::string &text, double &value)
+{
+    char *end = nullptr;
+    value = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+/** Shortest spelling that survives a parse round-trip. */
+std::string
+number(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+bool
+parseSignal(const std::string &name, HealthSignal &signal)
+{
+    for (int i = 0; i <= static_cast<int>(HealthSignal::ShardDegraded);
+         ++i) {
+        const auto candidate = static_cast<HealthSignal>(i);
+        if (name == healthSignalName(candidate)) {
+            signal = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseField(const std::string &field, HealthRule &rule,
+           std::string &error)
+{
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) {
+        error = "health rules: field '" + field + "' needs key=value";
+        return false;
+    }
+    const std::string key = trim(field.substr(0, eq));
+    const std::string text = trim(field.substr(eq + 1));
+    double value = 0;
+    if (!parseNumber(text, value)) {
+        error = "health rules: bad number in '" + field + "'";
+        return false;
+    }
+    if (key == "for") {
+        if (value < 1) {
+            error = "health rules: for= must be at least 1";
+            return false;
+        }
+        rule.forEpochs = static_cast<std::uint32_t>(value);
+    } else if (key == "tenant") {
+        if (value < 1) {
+            error = "health rules: tenant= must be a positive id";
+            return false;
+        }
+        rule.tenant = static_cast<std::uint32_t>(value);
+    } else if (key == "shard") {
+        if (value < 0) {
+            error = "health rules: shard= must be non-negative";
+            return false;
+        }
+        rule.shard = static_cast<std::int32_t>(value);
+    } else {
+        error = "health rules: unknown field '" + key +
+                "' (want for|tenant|shard)";
+        return false;
+    }
+    return true;
+}
+
+bool
+validate(const HealthRule &rule, std::string &error)
+{
+    if (healthSignalIsBoolean(rule.signal)) {
+        if (rule.cmp != Comparator::None) {
+            error = std::string("health rules: ") +
+                    healthSignalName(rule.signal) +
+                    " takes no threshold";
+            return false;
+        }
+    } else if (rule.cmp == Comparator::None) {
+        error = std::string("health rules: ") +
+                healthSignalName(rule.signal) +
+                " needs a > or < threshold";
+        return false;
+    }
+    const bool per_tenant = rule.signal == HealthSignal::Slowdown ||
+                            rule.signal == HealthSignal::HbmShare;
+    const bool per_shard =
+        rule.signal == HealthSignal::ShardOccupancy ||
+        rule.signal == HealthSignal::ShardDegraded;
+    if (rule.tenant != 0 && !per_tenant) {
+        error = std::string("health rules: tenant= only applies to "
+                            "per-tenant signals, not ") +
+                healthSignalName(rule.signal);
+        return false;
+    }
+    if (rule.shard >= 0 && !per_shard) {
+        error = std::string("health rules: shard= only applies to "
+                            "per-shard signals, not ") +
+                healthSignalName(rule.signal);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Warn: return "warn";
+      case Severity::Alert: return "alert";
+    }
+    return "?";
+}
+
+const char *
+healthSignalName(HealthSignal signal)
+{
+    switch (signal) {
+      case HealthSignal::P99Slowdown: return "p99_slowdown";
+      case HealthSignal::Fairness: return "fairness";
+      case HealthSignal::FaultBacklog: return "fault_backlog";
+      case HealthSignal::Churn: return "churn";
+      case HealthSignal::Degraded: return "degraded";
+      case HealthSignal::Slowdown: return "slowdown";
+      case HealthSignal::HbmShare: return "hbm_share";
+      case HealthSignal::ShardOccupancy: return "shard_occupancy";
+      case HealthSignal::ShardDegraded: return "shard_degraded";
+    }
+    return "?";
+}
+
+bool
+healthSignalIsBoolean(HealthSignal signal)
+{
+    return signal == HealthSignal::Degraded ||
+           signal == HealthSignal::ShardDegraded;
+}
+
+std::vector<HealthRule>
+parseHealthRules(const std::string &text, std::string &error)
+{
+    error.clear();
+    std::vector<HealthRule> rules;
+    for (const std::string &spec : splitOn(text, ';')) {
+        if (spec.empty())
+            continue;
+        const auto colon = spec.find(':');
+        if (colon == std::string::npos) {
+            error = "health rules: rule '" + spec +
+                    "' needs severity:signal";
+            return {};
+        }
+        const std::string severity = trim(spec.substr(0, colon));
+        HealthRule rule;
+        if (severity == "warn") {
+            rule.severity = Severity::Warn;
+        } else if (severity == "alert") {
+            rule.severity = Severity::Alert;
+        } else {
+            error = "health rules: unknown severity '" + severity +
+                    "' (want warn|alert)";
+            return {};
+        }
+        const std::string body = trim(spec.substr(colon + 1));
+        const auto fields = splitOn(body, ',');
+        if (fields.empty() || fields.front().empty()) {
+            error = "health rules: rule '" + spec +
+                    "' names no signal";
+            return {};
+        }
+        const std::string &head = fields.front();
+        const auto cmp = head.find_first_of("><");
+        std::string name = head;
+        if (cmp != std::string::npos) {
+            name = trim(head.substr(0, cmp));
+            rule.cmp = head[cmp] == '>' ? Comparator::Greater
+                                        : Comparator::Less;
+            if (!parseNumber(trim(head.substr(cmp + 1)),
+                             rule.threshold)) {
+                error = "health rules: bad threshold in '" + head +
+                        "'";
+                return {};
+            }
+        }
+        if (!parseSignal(name, rule.signal)) {
+            error = "health rules: unknown signal '" + name + "'";
+            return {};
+        }
+        for (std::size_t i = 1; i < fields.size(); ++i) {
+            if (fields[i].empty())
+                continue;
+            if (!parseField(fields[i], rule, error))
+                return {};
+        }
+        if (!validate(rule, error))
+            return {};
+        rules.push_back(rule);
+    }
+    if (rules.empty())
+        error = "health rules: no rules in '" + text + "'";
+    return error.empty() ? rules : std::vector<HealthRule>{};
+}
+
+std::string
+formatHealthRule(const HealthRule &rule)
+{
+    std::ostringstream out;
+    out << severityName(rule.severity) << ":"
+        << healthSignalName(rule.signal);
+    if (rule.cmp != Comparator::None)
+        out << (rule.cmp == Comparator::Greater ? ">" : "<")
+            << number(rule.threshold);
+    if (rule.forEpochs != 1)
+        out << ",for=" << rule.forEpochs;
+    if (rule.tenant != 0)
+        out << ",tenant=" << rule.tenant;
+    if (rule.shard >= 0)
+        out << ",shard=" << rule.shard;
+    return out.str();
+}
+
+std::string
+formatHealthRules(const std::vector<HealthRule> &rules)
+{
+    std::string out;
+    for (const HealthRule &rule : rules) {
+        if (!out.empty())
+            out += ";";
+        out += formatHealthRule(rule);
+    }
+    return out;
+}
+
+} // namespace ramp::health

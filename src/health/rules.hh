@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Declarative SLO health rules.
+ *
+ * A rule set is a ';'-separated list of rules, each
+ *
+ *     severity ':' signal [cmp threshold] [',' key '=' value ...]
+ *
+ * where severity is `warn` or `alert`, signal names one of the
+ * derived health signals carried by every timeline sample
+ * (health.hh), cmp is '>' or '<' against a numeric threshold, and
+ * the optional fields are:
+ *
+ *   for=N     consecutive breaching epochs before the rule fires
+ *             (hysteresis, default 1)
+ *   tenant=N  restrict a per-tenant signal to one tenant id
+ *   shard=N   restrict a per-shard signal to one shard index
+ *
+ * Boolean signals (shard_degraded, degraded) take no comparator;
+ * numeric signals require one. Example:
+ *
+ *     alert:p99_slowdown>2,for=3;alert:shard_degraded;warn:fairness<0.9,for=2
+ *
+ * parseHealthRules/formatHealthRules round-trip (same grammar
+ * discipline as the fault plan, faults/plan.hh).
+ */
+
+#ifndef RAMP_HEALTH_RULES_HH
+#define RAMP_HEALTH_RULES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ramp::health
+{
+
+/** How loud a firing rule is. */
+enum class Severity : std::uint8_t
+{
+    Warn,
+    Alert,
+};
+
+/** Stable spelling ("warn", "alert"). */
+const char *severityName(Severity severity);
+
+/** The derived signals a rule can watch (one per sample scope). */
+enum class HealthSignal : std::uint8_t
+{
+    P99Slowdown,    ///< run-wide p99 slowdown vs solo (numeric)
+    Fairness,       ///< run-wide Jain fairness index (numeric)
+    FaultBacklog,   ///< run-wide overfull-page backlog (numeric)
+    Churn,          ///< run-wide pages moved this epoch (numeric)
+    Degraded,       ///< run-wide degraded flag (boolean)
+    Slowdown,       ///< per-tenant slowdown vs solo (numeric)
+    HbmShare,       ///< per-tenant HBM share of footprint (numeric)
+    ShardOccupancy, ///< per-shard HBM used/capacity (numeric)
+    ShardDegraded,  ///< per-shard degraded flag (boolean)
+};
+
+/** Stable spelling ("p99_slowdown", "fairness", ...). */
+const char *healthSignalName(HealthSignal signal);
+
+/** Boolean signals take no comparator/threshold. */
+bool healthSignalIsBoolean(HealthSignal signal);
+
+/** Threshold direction for numeric signals. */
+enum class Comparator : std::uint8_t
+{
+    None,    ///< boolean signal, no threshold
+    Greater, ///< breach when value > threshold
+    Less,    ///< breach when value < threshold
+};
+
+/** One parsed rule. */
+struct HealthRule
+{
+    Severity severity = Severity::Alert;
+    HealthSignal signal = HealthSignal::P99Slowdown;
+    Comparator cmp = Comparator::None;
+    double threshold = 0;
+
+    /** Consecutive breaching epochs before firing (>= 1). */
+    std::uint32_t forEpochs = 1;
+
+    /** Restrict to one tenant id (0 = every tenant). */
+    std::uint32_t tenant = 0;
+
+    /** Restrict to one shard index (-1 = every shard). */
+    std::int32_t shard = -1;
+
+    bool operator==(const HealthRule &other) const = default;
+};
+
+/**
+ * Parse a rule set. Returns the rules, or an empty vector with
+ * `error` set on the first malformed rule.
+ */
+std::vector<HealthRule> parseHealthRules(const std::string &text,
+                                         std::string &error);
+
+/** Canonical spelling of one rule (parse/format round-trips). */
+std::string formatHealthRule(const HealthRule &rule);
+
+/** ';'-joined canonical rule set. */
+std::string formatHealthRules(const std::vector<HealthRule> &rules);
+
+} // namespace ramp::health
+
+#endif // RAMP_HEALTH_RULES_HH

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "eventlog/eventlog.hh"
+#include "health/health.hh"
 #include "hma/core_model.hh"
 #include "telemetry/telemetry.hh"
 
@@ -588,6 +589,48 @@ HmaSystem::runInPlace(const std::vector<CoreTrace> &traces,
     Cycle next_inject =
         injector != nullptr ? injector->epochCycles() : 0;
     std::uint64_t inject_epoch = 0; ///< 1-based, like FaultEvent.
+
+    // Health timeline: every injector epoch and every non-empty
+    // migration boundary hands the recorder one sample with this
+    // epoch's deltas (health/health.hh). High-water marks live out
+    // here so the deltas survive across boundaries; the capture
+    // costs one relaxed load per boundary when the timeline is off.
+    [[maybe_unused]] std::uint64_t health_prev_faults = 0;
+    [[maybe_unused]] std::uint64_t health_prev_retired = 0;
+    [[maybe_unused]] std::uint64_t health_prev_lost = 0;
+    [[maybe_unused]] std::uint64_t health_prev_moves = 0;
+    [[maybe_unused]] auto health_sample = [&](std::uint64_t epoch,
+                                              std::uint64_t churn) {
+        health::TimelineSample sample;
+        sample.source = "system";
+        sample.epoch = epoch;
+        sample.moves = churn;
+        sample.faultsInjected =
+            result.faultsInjected - health_prev_faults;
+        sample.pagesRetired =
+            result.pagesRetired - health_prev_retired;
+        sample.capacityLost =
+            result.capacityLostPages - health_prev_lost;
+        health_prev_faults = result.faultsInjected;
+        health_prev_retired = result.pagesRetired;
+        health_prev_lost = result.capacityLostPages;
+        sample.backlog =
+            static_cast<double>(placement.overfullHbmPages());
+        sample.degraded = response.degraded();
+        health::ShardSample shard;
+        shard.capacityPages = placement.hbmCapacityPages();
+        shard.usedPages = placement.hbmUsedPages();
+        shard.occupancy =
+            shard.capacityPages == 0
+                ? health::unmeasured
+                : static_cast<double>(shard.usedPages) /
+                      static_cast<double>(shard.capacityPages);
+        shard.degraded = response.degraded();
+        shard.retired = result.pagesRetired;
+        sample.shards.push_back(shard);
+        health::record(std::move(sample));
+    };
+
     std::deque<MigOp> transfers;
     auto drain_transfers = [&](Cycle up_to) {
         while (!transfers.empty() && transfers.front().when <= up_to) {
@@ -623,6 +666,12 @@ HmaSystem::runInPlace(const std::vector<CoreTrace> &traces,
                                 next_inject, placement, engine,
                                 response, result, residency,
                                 transfers);
+                RAMP_HEALTH({
+                    health_sample(inject_epoch,
+                                  result.responseMoves -
+                                      health_prev_moves);
+                    health_prev_moves = result.responseMoves;
+                });
                 next_inject += injector->epochCycles();
                 continue;
             }
@@ -666,6 +715,9 @@ HmaSystem::runInPlace(const std::vector<CoreTrace> &traces,
                 last_epoch = next_boundary;
                 applyDecision(placement, decision, next_boundary,
                               residency, transfers);
+                RAMP_HEALTH(health_sample(
+                    next_boundary / engine->interval(),
+                    decision.pagesMoved()));
             }
             next_boundary += engine->interval();
         }

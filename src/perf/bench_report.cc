@@ -29,7 +29,7 @@ perSecond(std::uint64_t count, double wall_seconds)
 }
 
 std::string
-hostJson()
+hostJson(unsigned sample_ms)
 {
     utsname uts{};
     const bool have_uname = uname(&uts) == 0;
@@ -41,7 +41,7 @@ hostJson()
         << "\", \"arch\": \""
         << jsonEscape(have_uname ? uts.machine : "unknown")
         << "\", \"cpus\": " << std::thread::hardware_concurrency()
-        << ", \"compiler\": \""
+        << ", \"sample_ms\": " << sample_ms << ", \"compiler\": \""
 #if defined(__clang__)
         << "clang " << jsonEscape(__clang_version__)
 #elif defined(__GNUC__)
@@ -87,7 +87,7 @@ renderBenchReport(const BenchReportSpec &spec)
         << "  \"schema\": \"" << benchSchema << "\",\n"
         << "  \"tool\": \"" << jsonEscape(spec.tool) << "\",\n"
         << "  \"jobs\": " << spec.jobs << ",\n"
-        << "  \"host\": " << hostJson() << ",\n"
+        << "  \"host\": " << hostJson(spec.sampleMs) << ",\n"
         << "  \"wall_seconds\": " << jsonNumber(spec.wallSeconds)
         << ",\n";
 
@@ -153,6 +153,21 @@ renderBenchReport(const BenchReportSpec &spec)
             << ",\n"
             << "    \"p99_slowdown\": "
             << jsonNumber(gaugeOr(snap, "service.p99_slowdown"))
+            << "\n  },\n";
+    }
+
+    // The health-monitor family, present only when the timeline
+    // recorded at least one sample (other tools' documents
+    // unchanged).
+    if (snap.counterOr("health.samples") != 0) {
+        out << "  \"health\": {\n"
+            << "    \"rules\": "
+            << jsonNumber(gaugeOr(snap, "health.rules")) << ",\n"
+            << "    \"samples\": "
+            << snap.counterOr("health.samples") << ",\n"
+            << "    \"alerts\": " << snap.counterOr("health.alerts")
+            << ",\n"
+            << "    \"warns\": " << snap.counterOr("health.warns")
             << "\n  },\n";
     }
 
@@ -329,6 +344,17 @@ compareBenchReports(const JsonValue &baseline,
                numberAt(baseline, {"service", "p99_slowdown"}),
                numberAt(candidate, {"service", "p99_slowdown"}),
                options.servicePct * relax, false, 1e-3);
+    // The health-monitor family: absent when no timeline ran. The
+    // sample count regresses in either direction (fired-alert
+    // deltas are what matter; see tools/bench_diff --health-pct).
+    for (const char *name : {"samples", "alerts", "warns"}) {
+        const double base =
+            numberAt(baseline, {"health", name});
+        const double cand =
+            numberAt(candidate, {"health", name});
+        compareOne(diffs, std::string("health.") + name, base,
+                   cand, options.healthPct * relax, false, 1.0);
+    }
     compareOne(diffs, "resources.peak_rss_bytes",
                numberAt(baseline, {"resources", "peak_rss_bytes"}),
                numberAt(candidate, {"resources", "peak_rss_bytes"}),

@@ -58,6 +58,10 @@ struct BenchReportSpec
     /** Harness-construction-to-finish wall time, seconds. */
     double wallSeconds = 0;
 
+    /** Resource-sampler period (--sample-ms), stamped into host
+     * metadata so a baseline records the cadence it was taken at. */
+    unsigned sampleMs = 50;
+
     /** The resource sampler's window (zero samples = no sampler). */
     ResourceSummary resources;
 
@@ -125,6 +129,14 @@ struct DiffOptions
      */
     double servicePct = 40;
     double fairnessPct = 5;
+
+    /**
+     * Health-monitor family (the "health" block: timeline samples,
+     * fired alerts/warns). Counts are deterministic for a fixed
+     * workload, but rule sets evolve with the defaults, so the band
+     * matches the throughput family rather than an exact gate.
+     */
+    double healthPct = 40;
 
     /** Multiplies every threshold (CLI --relax). */
     double relax = 1.0;

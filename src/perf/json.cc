@@ -275,6 +275,15 @@ JsonValue::stringOr(const std::string &key,
 }
 
 bool
+JsonValue::boolOr(const std::string &key, bool fallback) const
+{
+    const JsonValue *member = find(key);
+    return member != nullptr && member->kind == Kind::Bool
+               ? member->boolean
+               : fallback;
+}
+
+bool
 parseJson(std::string_view text, JsonValue &out, std::string &error)
 {
     Parser parser{text, 0, {}};

@@ -59,6 +59,9 @@ class JsonValue
     /** Member's string, or `fallback` when absent/not a string. */
     std::string stringOr(const std::string &key,
                          const std::string &fallback) const;
+
+    /** Member's bool, or `fallback` when absent/not a bool. */
+    bool boolOr(const std::string &key, bool fallback) const;
 };
 
 /**

@@ -12,6 +12,8 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "eventlog/eventlog.hh"
+#include "health/health.hh"
+#include "health/rules.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp::runner
@@ -120,12 +122,35 @@ Harness::Harness(std::string tool, RunnerOptions options)
         telemetry::captureLogEvents();
     }
     if (!options_.benchPath.empty())
-        sampler_ = std::make_unique<perf::ResourceSampler>();
+        sampler_ = std::make_unique<perf::ResourceSampler>(
+            std::chrono::milliseconds(options_.sampleMs));
     if (!options_.eventsPath.empty()) {
         eventlog::setEnabled(true);
         if (const char *env = std::getenv("RAMP_EVENTS_LIMIT"))
             eventlog::setCapacity(
                 std::strtoull(env, nullptr, 10));
+    }
+    if (!options_.timelinePath.empty() ||
+        !options_.healthRules.empty()) {
+        // Health alerts are stamped into the decision ledger and
+        // sample attribution needs the eventlog run label, so the
+        // monitor switches both substrates on. The telemetry
+        // baseline for the timeline's final metrics-delta record is
+        // captured by setEnabled(true), so telemetry goes first.
+        telemetry::setEnabled(true);
+        eventlog::setEnabled(true);
+        health::setEnabled(true);
+        std::vector<health::HealthRule> rules;
+        if (options_.healthRules.empty()) {
+            rules = health::defaultRules();
+        } else {
+            std::string error;
+            rules =
+                health::parseHealthRules(options_.healthRules, error);
+            if (!error.empty())
+                throw PassError(PassErrorCode::Usage, error);
+        }
+        health::setRules(std::move(rules));
     }
     if (!options_.cacheDir.empty())
         cache_.setDiskDir(options_.cacheDir);
@@ -330,6 +355,7 @@ Harness::benchJson()
     perf::BenchReportSpec spec;
     spec.tool = tool_;
     spec.jobs = pool_.jobs();
+    spec.sampleMs = options_.sampleMs;
     spec.wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - startTime_)
@@ -416,10 +442,35 @@ Harness::flushOutputs()
             code = 1;
         }
     }
+    if (!options_.timelinePath.empty() &&
+        !atomicWriteFile(options_.timelinePath,
+                         health::timelineJsonl(tool_))) {
+        std::fprintf(stderr,
+                     "%s: cannot write health timeline to %s\n",
+                     tool_.c_str(), options_.timelinePath.c_str());
+        code = 1;
+    }
+    std::optional<HealthInfo> health_info;
+    if (health::enabled()) {
+        health_info = HealthInfo{};
+        health_info->path = options_.timelinePath;
+        health_info->rules =
+            health::formatHealthRules(health::rules());
+        health_info->samples = health::sampleCount();
+        for (const auto &alert : health::alerts()) {
+            if (alert.severity == health::Severity::Alert)
+                ++health_info->alerts;
+            else
+                ++health_info->warns;
+            health_info->alertJson.push_back(
+                health::alertJson(alert));
+        }
+    }
     if (!options_.jsonPath.empty() &&
         !report_.writeJson(options_.jsonPath, pool_.jobs(),
                            cache_.stats(),
-                           events_info ? &*events_info : nullptr)) {
+                           events_info ? &*events_info : nullptr,
+                           health_info ? &*health_info : nullptr)) {
         std::fprintf(stderr, "%s: cannot write JSON report to %s\n",
                      tool_.c_str(), options_.jsonPath.c_str());
         code = 1;

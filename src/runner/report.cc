@@ -78,6 +78,20 @@ parseTimeout(const std::string &text)
     return parsed;
 }
 
+/** Sample period for --sample-ms; throws PassError(Usage). */
+unsigned
+parseSampleMs(const std::string &text)
+{
+    char *end = nullptr;
+    const long parsed = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || parsed < 10)
+        throw PassError(PassErrorCode::Usage,
+                        "--sample-ms needs an integer of at least "
+                        "10 milliseconds, got '" +
+                            text + "'");
+    return static_cast<unsigned>(parsed);
+}
+
 } // namespace
 
 RunnerOptions
@@ -94,6 +108,12 @@ RunnerOptions::parse(int argc, char **argv)
         options.benchPath = env;
     if (const char *env = std::getenv("RAMP_EVENTS_OUT"))
         options.eventsPath = env;
+    if (const char *env = std::getenv("RAMP_TIMELINE_OUT"))
+        options.timelinePath = env;
+    if (const char *env = std::getenv("RAMP_HEALTH_RULES"))
+        options.healthRules = env;
+    if (const char *env = std::getenv("RAMP_SAMPLE_MS"))
+        options.sampleMs = parseSampleMs(env);
     if (const char *env = std::getenv("RAMP_CACHE_DIR"))
         options.cacheDir = env;
     if (const char *env = std::getenv("RAMP_CHECKPOINT"))
@@ -133,6 +153,13 @@ RunnerOptions::parse(int argc, char **argv)
             options.benchPath = value("--bench-out");
         } else if (arg == "--events-out") {
             options.eventsPath = value("--events-out");
+        } else if (arg == "--timeline-out") {
+            options.timelinePath = value("--timeline-out");
+        } else if (arg == "--health-rules") {
+            options.healthRules = value("--health-rules");
+        } else if (arg == "--sample-ms") {
+            options.sampleMs =
+                parseSampleMs(value("--sample-ms"));
         } else if (arg == "--cache-dir") {
             options.cacheDir = value("--cache-dir");
         } else if (arg == "--checkpoint") {
@@ -162,6 +189,12 @@ RunnerOptions::flagsHelp()
            "performance report (env RAMP_BENCH_OUT)\n"
            "  --events-out PATH  write the decision ledger as "
            "JSONL (env RAMP_EVENTS_OUT)\n"
+           "  --timeline-out PATH  write the epoch health timeline "
+           "as JSONL (env RAMP_TIMELINE_OUT)\n"
+           "  --health-rules R  SLO rules evaluated per epoch, e.g. "
+           "alert:p99_slowdown>2,for=3 (env RAMP_HEALTH_RULES)\n"
+           "  --sample-ms N   resource-sampler period, >= 10 "
+           "(default 50; env RAMP_SAMPLE_MS)\n"
            "  --cache-dir D   persist profiling passes on disk "
            "(env RAMP_CACHE_DIR)\n"
            "  --checkpoint D  journal completed passes; resume a "
@@ -261,7 +294,8 @@ jsonNumber(double value)
 bool
 Report::writeJson(const std::string &path, unsigned jobs,
                   const ProfileCacheStats &cache_stats,
-                  const EventsInfo *events) const
+                  const EventsInfo *events,
+                  const HealthInfo *health) const
 {
     std::ostringstream out;
     const auto passes = this->passes();
@@ -282,6 +316,23 @@ Report::writeJson(const std::string &path, unsigned jobs,
             << "    \"records\": " << events->records << ",\n"
             << "    \"dropped\": " << events->dropped << "\n"
             << "  },\n";
+    if (health != nullptr) {
+        out << "  \"health\": {\n"
+            << "    \"path\": \"" << jsonEscape(health->path)
+            << "\",\n"
+            << "    \"rules\": \"" << jsonEscape(health->rules)
+            << "\",\n"
+            << "    \"samples\": " << health->samples << ",\n"
+            << "    \"alerts\": " << health->alerts << ",\n"
+            << "    \"warns\": " << health->warns << ",\n"
+            << "    \"fired\": [\n";
+        for (std::size_t i = 0; i < health->alertJson.size(); ++i)
+            out << "      " << health->alertJson[i]
+                << (i + 1 < health->alertJson.size() ? "," : "")
+                << "\n";
+        out << "    ]\n"
+            << "  },\n";
+    }
     out << "  \"passes\": [\n";
     for (std::size_t i = 0; i < passes.size(); ++i) {
         const auto &pass = passes[i];

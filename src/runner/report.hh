@@ -100,6 +100,15 @@ struct RunnerOptions
     /** Decision-ledger JSONL target ("" = no events file). */
     std::string eventsPath;
 
+    /** Health-timeline JSONL target ("" = no timeline file). */
+    std::string timelinePath;
+
+    /** Health rule set ("" = defaults when the timeline is on). */
+    std::string healthRules;
+
+    /** Resource-sampler period in milliseconds (>= 10). */
+    unsigned sampleMs = 50;
+
     /** On-disk profile-cache directory ("" = memory-only). */
     std::string cacheDir;
 
@@ -114,10 +123,12 @@ struct RunnerOptions
 
     /**
      * Parse --jobs N, --json PATH, --metrics-out PATH, --trace-out
-     * PATH, --bench-out PATH, --events-out PATH, --cache-dir PATH,
+     * PATH, --bench-out PATH, --events-out PATH, --timeline-out
+     * PATH, --health-rules RULES, --sample-ms N, --cache-dir PATH,
      * --checkpoint DIR, and --pass-timeout S from argv (with
      * RAMP_JOBS / RAMP_JSON / RAMP_METRICS_OUT / RAMP_TRACE_OUT /
-     * RAMP_BENCH_OUT / RAMP_EVENTS_OUT / RAMP_CACHE_DIR /
+     * RAMP_BENCH_OUT / RAMP_EVENTS_OUT / RAMP_TIMELINE_OUT /
+     * RAMP_HEALTH_RULES / RAMP_SAMPLE_MS / RAMP_CACHE_DIR /
      * RAMP_CHECKPOINT / RAMP_PASS_TIMEOUT environment fallbacks);
      * everything else lands in positional.
      * Throws PassError(Usage) on a malformed flag — the binary
@@ -140,6 +151,28 @@ struct EventsInfo
 
     /** Records dropped at the RAMP_EVENTS_LIMIT capacity cap. */
     std::uint64_t dropped = 0;
+};
+
+/** Health-monitor summary stamped into the JSON document. */
+struct HealthInfo
+{
+    /** Timeline-file path as requested (--timeline-out). */
+    std::string path;
+
+    /** Installed rule set (canonical spelling). */
+    std::string rules;
+
+    /** Timeline samples recorded. */
+    std::uint64_t samples = 0;
+
+    /** alert-severity rules fired. */
+    std::uint64_t alerts = 0;
+
+    /** warn-severity rules fired. */
+    std::uint64_t warns = 0;
+
+    /** Fired alerts as pre-rendered JSON objects, in sorted order. */
+    std::vector<std::string> alertJson;
 };
 
 /** One recorded simulation pass. */
@@ -185,14 +218,15 @@ class Report
 
     /**
      * Write the JSON document: tool, jobs, per-pass metrics and
-     * status, the profile-cache counters, and (when an events file
-     * was written) the decision-ledger summary. The write is atomic
-     * (unique temp file + rename), so a crash never leaves a torn
-     * report. Returns false when the file cannot be written.
+     * status, the profile-cache counters, and (when written) the
+     * decision-ledger and health-monitor summaries. The write is
+     * atomic (unique temp file + rename), so a crash never leaves a
+     * torn report. Returns false when the file cannot be written.
      */
     bool writeJson(const std::string &path, unsigned jobs,
                    const ProfileCacheStats &cache_stats,
-                   const EventsInfo *events = nullptr) const;
+                   const EventsInfo *events = nullptr,
+                   const HealthInfo *health = nullptr) const;
 
   private:
     std::string tool_;

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "eventlog/eventlog.hh"
+#include "health/health.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp::service
@@ -356,6 +357,14 @@ struct PlacementService::Tenant
     std::uint64_t moved = 0;
     std::uint64_t retired = 0;
     bool degraded = false;
+
+    /** @{ @name Per-epoch history, folded into the health timeline */
+    std::vector<std::uint64_t> residentByEpoch;
+    std::vector<std::uint64_t> grantByEpoch;
+    std::vector<double> shareByEpoch;
+    std::vector<Cycle> makespanByEpoch;
+    std::vector<Cycle> soloMakespanByEpoch;
+    /** @} */
 };
 
 /** Per-shard state; owned by exactly one pool task for the run. */
@@ -375,6 +384,17 @@ struct PlacementService::Shard
     std::uint64_t retired = 0;
     std::uint64_t capacityLost = 0;
     bool degraded = false;
+
+    /** @{ @name Per-epoch history (cumulative at each boundary) */
+    std::vector<std::uint64_t> usedByEpoch;
+    std::vector<std::uint64_t> capacityByEpoch;
+    std::vector<std::uint64_t> backlogByEpoch;
+    std::vector<std::uint64_t> retiredByEpoch;
+    std::vector<std::uint64_t> faultsByEpoch;
+    std::vector<std::uint64_t> lostByEpoch;
+    std::vector<std::uint64_t> movedByEpoch;
+    std::vector<std::uint8_t> degradedByEpoch;
+    /** @} */
 };
 
 namespace
@@ -518,6 +538,21 @@ jainIndex(const std::vector<double> &xs)
         return 1.0;
     return sum * sum /
            (static_cast<double>(xs.size()) * sum_sq);
+}
+
+/** p99 of a sample set (NaN when empty). */
+double
+p99Of(std::vector<double> xs)
+{
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    std::sort(xs.begin(), xs.end());
+    const std::size_t idx = std::min(
+        xs.size() - 1,
+        static_cast<std::size_t>(std::ceil(
+            0.99 * static_cast<double>(xs.size()))) -
+            1);
+    return xs[idx];
 }
 
 } // namespace
@@ -689,18 +724,104 @@ PlacementService::run(runner::ThreadPool &pool)
     }
 
     result.fairnessIndex = jainIndex(hbm_means);
-    if (!slowdowns.empty()) {
-        std::sort(slowdowns.begin(), slowdowns.end());
-        const std::size_t idx = std::min(
-            slowdowns.size() - 1,
-            static_cast<std::size_t>(std::ceil(
-                0.99 * static_cast<double>(slowdowns.size()))) -
-                1);
-        result.p99Slowdown = slowdowns[idx];
-    } else {
-        result.p99Slowdown =
-            std::numeric_limits<double>::quiet_NaN();
+    result.p99Slowdown = p99Of(std::move(slowdowns));
+
+    // Per-global-epoch trajectory, folded from the histories the
+    // (single-threaded) shard tasks recorded — schedule-independent
+    // by construction. The gauges walk the trajectory epoch by
+    // epoch; the run-level values set below win as the last write.
+    for (unsigned e = 0; e < config_.epochs; ++e) {
+        std::vector<double> epoch_pages;
+        std::vector<double> epoch_slowdowns;
+        for (const Tenant &tenant : tenants_) {
+            if (e < tenant.residentByEpoch.size())
+                epoch_pages.push_back(static_cast<double>(
+                    tenant.residentByEpoch[e]));
+            if (e < tenant.makespanByEpoch.size() &&
+                e < tenant.soloMakespanByEpoch.size() &&
+                tenant.soloMakespanByEpoch[e] > 0)
+                epoch_slowdowns.push_back(
+                    static_cast<double>(
+                        tenant.makespanByEpoch[e]) /
+                    static_cast<double>(
+                        tenant.soloMakespanByEpoch[e]));
+        }
+        result.fairnessByEpoch.push_back(jainIndex(epoch_pages));
+        result.p99ByEpoch.push_back(
+            p99Of(std::move(epoch_slowdowns)));
+        RAMP_TELEM({
+            telemetry::metrics()
+                .gauge("service.fairness_index")
+                .set(result.fairnessByEpoch.back());
+            telemetry::metrics()
+                .gauge("service.p99_slowdown")
+                .set(result.p99ByEpoch.back());
+        });
     }
+
+    // Health timeline: one service-source sample per global epoch,
+    // assembled from the same fold so it is jobs-invariant.
+    [[maybe_unused]] auto epoch_sample = [&](unsigned e) {
+        health::TimelineSample sample;
+        sample.source = "service";
+        sample.epoch = e + 1;
+        sample.fairness = result.fairnessByEpoch[e];
+        sample.p99Slowdown = result.p99ByEpoch[e];
+        for (const Tenant &tenant : tenants_) {
+            if (e >= tenant.residentByEpoch.size())
+                continue;
+            health::TenantSample ts;
+            ts.id = tenant.spec.id;
+            ts.shard = tenant.shard;
+            ts.resident = tenant.residentByEpoch[e];
+            ts.grant = tenant.grantByEpoch[e];
+            ts.hbmShare = tenant.shareByEpoch[e];
+            if (e < tenant.makespanByEpoch.size() &&
+                e < tenant.soloMakespanByEpoch.size() &&
+                tenant.soloMakespanByEpoch[e] > 0)
+                ts.slowdown =
+                    static_cast<double>(
+                        tenant.makespanByEpoch[e]) /
+                    static_cast<double>(
+                        tenant.soloMakespanByEpoch[e]);
+            sample.tenants.push_back(ts);
+        }
+        double backlog = 0;
+        for (std::size_t s = 0; s < shards.size(); ++s) {
+            const Shard &shard = shards[s];
+            if (e >= shard.usedByEpoch.size())
+                continue;
+            health::ShardSample ss;
+            ss.shard = static_cast<std::uint32_t>(s);
+            ss.capacityPages = shard.capacityByEpoch[e];
+            ss.usedPages = shard.usedByEpoch[e];
+            ss.occupancy =
+                ss.capacityPages == 0
+                    ? health::unmeasured
+                    : static_cast<double>(ss.usedPages) /
+                          static_cast<double>(ss.capacityPages);
+            ss.degraded = shard.degradedByEpoch[e] != 0;
+            ss.retired = shard.retiredByEpoch[e];
+            sample.shards.push_back(ss);
+            backlog +=
+                static_cast<double>(shard.backlogByEpoch[e]);
+            sample.degraded = sample.degraded || ss.degraded;
+            const auto delta = [&](const auto &history) {
+                return history[e] - (e > 0 ? history[e - 1] : 0);
+            };
+            sample.faultsInjected += delta(shard.faultsByEpoch);
+            sample.pagesRetired += delta(shard.retiredByEpoch);
+            sample.capacityLost += delta(shard.lostByEpoch);
+            sample.moves += delta(shard.movedByEpoch);
+        }
+        sample.backlog = backlog;
+        return sample;
+    };
+    RAMP_HEALTH({
+        eventlog::RunScope health_scope("svc/health");
+        for (unsigned e = 0; e < config_.epochs; ++e)
+            health::record(epoch_sample(e));
+    });
 
     RAMP_TELEM({
         auto &tel = serviceTelemetry();
@@ -714,10 +835,11 @@ PlacementService::run(runner::ThreadPool &pool)
         telemetry::metrics()
             .gauge("service.fairness_index")
             .set(result.fairnessIndex);
-        if (result.p99Slowdown == result.p99Slowdown)
-            telemetry::metrics()
-                .gauge("service.p99_slowdown")
-                .set(result.p99Slowdown);
+        // Set even when NaN (no solo baselines): the non-finite
+        // path renders null instead of leaking a stale value.
+        telemetry::metrics()
+            .gauge("service.p99_slowdown")
+            .set(result.p99Slowdown);
     });
     return result;
 }
@@ -933,14 +1055,18 @@ PlacementService::runShard(Shard &shard, unsigned shard_index)
 
                 const std::uint64_t resident =
                     residentHbmPages(shard.map, tenant);
-                tenant.hbmPagesSum +=
-                    static_cast<double>(resident);
-                tenant.hbmShareSum +=
+                const double share =
                     tenant.ranking.empty()
                         ? 0.0
                         : static_cast<double>(resident) /
                               static_cast<double>(
                                   tenant.ranking.size());
+                tenant.hbmPagesSum +=
+                    static_cast<double>(resident);
+                tenant.hbmShareSum += share;
+                tenant.residentByEpoch.push_back(resident);
+                tenant.grantByEpoch.push_back(tenant.grant);
+                tenant.shareByEpoch.push_back(share);
                 RAMP_EVLOG({
                     eventlog::EventRecord record;
                     record.kind = eventlog::EventKind::Tenant;
@@ -968,11 +1094,13 @@ PlacementService::runShard(Shard &shard, unsigned shard_index)
 
                 const std::vector<CoreTrace> slice = epochSlice(
                     tenant.traces, epoch, config_.epochs);
+                Cycle epoch_makespan = 0;
                 if (sliceRequests(slice) > 0) {
                     HmaSystem system(system_);
                     const SimResult epoch_result =
                         system.runInPlace(slice, shard.map,
                                           nullptr, nullptr);
+                    epoch_makespan = epoch_result.makespan;
                     tenant.makespan += epoch_result.makespan;
                     tenant.requests += epoch_result.requests;
                     tenant.instructions +=
@@ -982,10 +1110,27 @@ PlacementService::runShard(Shard &shard, unsigned shard_index)
                         1,
                         epoch_result.profile.footprintPages());
                 }
+                tenant.makespanByEpoch.push_back(epoch_makespan);
             }
             tenant.degraded =
                 tenant.degraded || shard.degraded;
         }
+
+        // Epoch-boundary shard history: cumulative counts that the
+        // post-drain fold differences into the health timeline.
+        std::uint64_t shard_moved = 0;
+        for (const std::size_t idx : shard.tenantIdx)
+            shard_moved += tenants_[idx].moved;
+        shard.usedByEpoch.push_back(shard.map.hbmUsedPages());
+        shard.capacityByEpoch.push_back(
+            shard.map.hbmCapacityPages());
+        shard.backlogByEpoch.push_back(
+            shard.map.overfullHbmPages());
+        shard.retiredByEpoch.push_back(shard.retired);
+        shard.faultsByEpoch.push_back(shard.faults);
+        shard.lostByEpoch.push_back(shard.capacityLost);
+        shard.movedByEpoch.push_back(shard_moved);
+        shard.degradedByEpoch.push_back(shard.degraded ? 1 : 0);
     }
 }
 
@@ -1009,12 +1154,15 @@ PlacementService::runSolo(Tenant &tenant)
                             config_.demoteBudgetPages, epoch);
         const std::vector<CoreTrace> slice =
             epochSlice(tenant.traces, epoch, config_.epochs);
-        if (sliceRequests(slice) == 0)
+        if (sliceRequests(slice) == 0) {
+            tenant.soloMakespanByEpoch.push_back(0);
             continue;
+        }
         HmaSystem system(system_);
         const SimResult epoch_result =
             system.runInPlace(slice, map, nullptr, nullptr);
         tenant.soloMakespan += epoch_result.makespan;
+        tenant.soloMakespanByEpoch.push_back(epoch_result.makespan);
         demand = std::max<std::uint64_t>(
             1, epoch_result.profile.footprintPages());
     }

@@ -309,6 +309,13 @@ struct ServiceResult
 
     /** p99 over per-tenant slowdowns (NaN without solos). */
     double p99Slowdown = 0;
+
+    /** @{ @name Per-global-epoch trajectory (health timeline) */
+    /** Jain index over per-tenant resident pages at each epoch. */
+    std::vector<double> fairnessByEpoch;
+    /** p99 per-epoch slowdown vs solo (NaN without solos). */
+    std::vector<double> p99ByEpoch;
+    /** @} */
 };
 
 /**

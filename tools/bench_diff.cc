@@ -49,6 +49,8 @@ usage()
         "(default 40;\n"
         "                    the fairness index keeps its own "
         "tight 5%% band)\n"
+        "  --health-pct P    health-monitor threshold "
+        "(default 40)\n"
         "  --family PREFIX   only compare metrics whose name "
         "starts\n"
         "                    with PREFIX (repeatable), so one "
@@ -137,6 +139,9 @@ main(int argc, char **argv)
         } else if (arg == "--service-pct") {
             options.servicePct = parsePositive(
                 "--service-pct", value("--service-pct"));
+        } else if (arg == "--health-pct") {
+            options.healthPct = parsePositive(
+                "--health-pct", value("--health-pct"));
         } else if (arg == "--family") {
             options.families.push_back(value("--family"));
         } else if (!arg.empty() && arg[0] == '-') {
