@@ -1,6 +1,7 @@
 #include "cache/hierarchy.hh"
 
 #include "common/logging.hh"
+#include "prof/prof.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp
@@ -108,6 +109,8 @@ CacheHierarchy::accessData(CoreId core, Addr addr, bool is_write)
 {
     if (core >= l1d_.size())
         ramp_panic("data access from unknown core ", core);
+    // TSC-only: this is a per-access path, too hot for a PMU read.
+    RAMP_PROF_SCOPE(access_prof, "cache.access");
     const Result result = accessThroughL2(l1d_[core], addr, is_write);
     RAMP_TELEM(countAccess(result, hierarchyCounters().l1dHits,
                            hierarchyCounters().l1dMisses));
@@ -119,6 +122,7 @@ CacheHierarchy::accessInst(CoreId core, Addr addr)
 {
     if (core >= l1i_.size())
         ramp_panic("inst access from unknown core ", core);
+    RAMP_PROF_SCOPE(access_prof, "cache.access");
     const Result result = accessThroughL2(l1i_[core], addr, false);
     RAMP_TELEM(countAccess(result, hierarchyCounters().l1iHits,
                            hierarchyCounters().l1iMisses));

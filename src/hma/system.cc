@@ -7,6 +7,7 @@
 #include "eventlog/eventlog.hh"
 #include "health/health.hh"
 #include "hma/core_model.hh"
+#include "prof/prof.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp
@@ -560,6 +561,7 @@ HmaSystem::runInPlace(const std::vector<CoreTrace> &traces,
                         "engine",
                         engine != nullptr ? engine->name()
                                           : "static"));
+    RAMP_PROF_SCOPE_PMU(run_prof, "hma.run");
 
     SimResult result;
     AvfTracker avf;
@@ -662,10 +664,13 @@ HmaSystem::runInPlace(const std::vector<CoreTrace> &traces,
                 (!engine_due || next_inject <= next_boundary)) {
                 drain_transfers(next_inject);
                 ++inject_epoch;
-                applyFaultEpoch(*injector, inject_epoch,
-                                next_inject, placement, engine,
-                                response, result, residency,
-                                transfers);
+                {
+                    RAMP_PROF_SCOPE(fault_prof, "hma.fault_epoch");
+                    applyFaultEpoch(*injector, inject_epoch,
+                                    next_inject, placement, engine,
+                                    response, result, residency,
+                                    transfers);
+                }
                 RAMP_HEALTH({
                     health_sample(inject_epoch,
                                   result.responseMoves -
@@ -676,6 +681,7 @@ HmaSystem::runInPlace(const std::vector<CoreTrace> &traces,
                 continue;
             }
             drain_transfers(next_boundary);
+            RAMP_PROF_SCOPE(epoch_prof, "hma.migration_epoch");
             const auto decision =
                 engine->onInterval(next_boundary, placement);
             RAMP_TELEM(systemTelemetry().boundaries.add(1));

@@ -8,6 +8,7 @@
 
 #include <sys/utsname.h>
 
+#include "prof/tsc.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp::perf
@@ -41,6 +42,11 @@ hostJson(unsigned sample_ms)
         << "\", \"arch\": \""
         << jsonEscape(have_uname ? uts.machine : "unknown")
         << "\", \"cpus\": " << std::thread::hardware_concurrency()
+        // Profiles quote cycles; the baseline records which CPU
+        // produced them and what a cycle is worth in seconds.
+        << ", \"cpu_model\": \""
+        << jsonEscape(prof::cpuModelName())
+        << "\", \"tsc_hz\": " << jsonNumber(prof::tscHz())
         << ", \"sample_ms\": " << sample_ms << ", \"compiler\": \""
 #if defined(__clang__)
         << "clang " << jsonEscape(__clang_version__)
@@ -170,6 +176,11 @@ renderBenchReport(const BenchReportSpec &spec)
             << "    \"warns\": " << snap.counterOr("health.warns")
             << "\n  },\n";
     }
+
+    // The cycle-profile summary, present only when the profiler
+    // ran (--profile-out); bench_diff skips it.
+    if (!spec.profileBlock.empty())
+        out << "  \"profile\": " << spec.profileBlock << ",\n";
 
     const BenchPassSummary &passes = spec.passes;
     out << "  \"passes\": {\n"
@@ -413,6 +424,33 @@ compareBenchReports(const JsonValue &baseline,
         });
     }
     return diffs;
+}
+
+std::vector<std::string>
+unknownBenchBlocks(const JsonValue &doc)
+{
+    // Every top-level key this build's reader understands; a key
+    // outside the set came from a newer (or older, since-removed)
+    // schema revision.
+    static const char *const known[] = {
+        "schema",        "tool",      "jobs",
+        "host",          "wall_seconds", "resources",
+        "throughput",    "counters",  "service",
+        "health",        "profile",   "passes",
+        "percentiles",   "microbenchmarks",
+    };
+    std::vector<std::string> unknown;
+    if (!doc.isObject())
+        return unknown;
+    for (const auto &[key, value] : doc.object) {
+        bool found = false;
+        for (const char *name : known)
+            if (key == name)
+                found = true;
+        if (!found)
+            unknown.push_back(key);
+    }
+    return unknown;
 }
 
 } // namespace ramp::perf

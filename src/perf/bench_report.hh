@@ -75,6 +75,10 @@ struct BenchReportSpec
 
     /** Microbenchmark rows (empty for figure binaries). */
     std::vector<BenchResult> microbenchmarks;
+
+    /** Pre-rendered `profile` block (prof::profileBlockJson());
+     * "" = profiler off, block omitted. */
+    std::string profileBlock;
 };
 
 /** Render the BENCH_<tool>.json document. */
@@ -168,6 +172,15 @@ std::vector<MetricDiff>
 compareBenchReports(const JsonValue &baseline,
                     const JsonValue &candidate,
                     const DiffOptions &options, std::string &error);
+
+/**
+ * Top-level keys of a ramp-bench-v1 document that this build does
+ * not know (newer schema additions, e.g. a baseline carrying a
+ * block this binary predates). bench_diff notes and skips them
+ * instead of erroring, so documents stay comparable across schema
+ * growth. Sorted, deduplicated.
+ */
+std::vector<std::string> unknownBenchBlocks(const JsonValue &doc);
 
 } // namespace ramp::perf
 

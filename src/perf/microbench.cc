@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "prof/prof.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp::perf
@@ -72,6 +73,11 @@ Microbench::run(const BenchOptions &options,
 
         RAMP_TELEM_SPAN(case_span, "microbench", "perf",
                         telemetry::traceArg("case", c.name));
+        // Every fn() invocation (warmup and timed) runs under a
+        // PMU-sampled "kernel.<case>" phase, so profiles attribute
+        // cycles, IPC, and LLC misses per hot kernel.
+        [[maybe_unused]] const char *prof_name =
+            prof::internName("kernel." + c.name);
         BenchResult result;
         result.name = c.name;
         result.unit = c.unit;
@@ -86,7 +92,10 @@ Microbench::run(const BenchOptions &options,
                std::max<std::size_t>(options.maxWarmupIterations,
                                      1)) {
             const Clock::time_point start = Clock::now();
-            result.itemsPerIteration = c.fn();
+            {
+                RAMP_PROF_SCOPE_PMU(kernel_prof, prof_name);
+                result.itemsPerIteration = c.fn();
+            }
             window.push_back(secondsSince(start));
             ++result.warmupIterations;
             if (window.size() > options.warmupWindow)
@@ -101,7 +110,10 @@ Microbench::run(const BenchOptions &options,
         RunningStat stat;
         for (std::size_t i = 0; i < options.iterations; ++i) {
             const Clock::time_point start = Clock::now();
-            result.itemsPerIteration = c.fn();
+            {
+                RAMP_PROF_SCOPE_PMU(kernel_prof, prof_name);
+                result.itemsPerIteration = c.fn();
+            }
             stat.add(secondsSince(start));
             if (secondsSince(budget_start) >
                     options.maxSecondsPerCase &&

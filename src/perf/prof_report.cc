@@ -1,0 +1,301 @@
+#include "perf/prof_report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/table.hh"
+#include "prof/prof.hh"
+
+namespace ramp::perf
+{
+
+namespace
+{
+
+std::uint64_t
+u64Or(const JsonValue &obj, const std::string &key)
+{
+    const double value = obj.numberOr(key, 0);
+    return value > 0 ? static_cast<std::uint64_t>(value) : 0;
+}
+
+/** Human cycle quantity: 12.3G / 45.6M / 789k / raw. */
+std::string
+cycles(std::uint64_t value)
+{
+    char buffer[32];
+    const double v = static_cast<double>(value);
+    if (v >= 1e9)
+        std::snprintf(buffer, sizeof(buffer), "%.2fG", v / 1e9);
+    else if (v >= 1e6)
+        std::snprintf(buffer, sizeof(buffer), "%.2fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buffer, sizeof(buffer), "%.1fk", v / 1e3);
+    else
+        std::snprintf(buffer, sizeof(buffer), "%llu",
+                      static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+std::string
+signedCycles(std::int64_t value)
+{
+    const std::uint64_t magnitude = static_cast<std::uint64_t>(
+        value < 0 ? -value : value);
+    std::string result = cycles(magnitude);
+    result.insert(0, 1, value < 0 ? '-' : '+');
+    return result;
+}
+
+std::uint64_t
+totalSelf(const ProfileDoc &doc)
+{
+    std::uint64_t total = 0;
+    for (const ProfilePhase &phase : doc.phases)
+        total += phase.selfCycles;
+    return total;
+}
+
+} // namespace
+
+bool
+parseProfileDoc(const JsonValue &json, ProfileDoc &doc,
+                std::string &error)
+{
+    if (!json.isObject()) {
+        error = "profile document is not a JSON object";
+        return false;
+    }
+    const std::string schema = json.stringOr("schema", "");
+    if (schema != prof::profileSchema) {
+        error = "unsupported profile schema '" + schema +
+                "' (want " + std::string(prof::profileSchema) + ")";
+        return false;
+    }
+    doc.tool = json.stringOr("tool", "");
+    doc.jobs = static_cast<unsigned>(json.numberOr("jobs", 0));
+    if (const JsonValue *host = json.find("host")) {
+        doc.cpuModel = host->stringOr("cpu_model", "unknown");
+        doc.tscHz = host->numberOr("tsc_hz", 0);
+    }
+    if (const JsonValue *pmu = json.find("pmu"))
+        doc.pmuAvailable = pmu->boolOr("available", false);
+    const JsonValue *phases = json.find("phases");
+    if (phases == nullptr || !phases->isArray()) {
+        error = "profile document has no phases array";
+        return false;
+    }
+    doc.phases.clear();
+    for (const JsonValue &row : phases->array) {
+        ProfilePhase phase;
+        phase.path = row.stringOr("path", "");
+        if (phase.path.empty()) {
+            error = "phase record without a path";
+            return false;
+        }
+        phase.name = row.stringOr("name", phase.path);
+        phase.depth =
+            static_cast<unsigned>(row.numberOr("depth", 0));
+        phase.calls = u64Or(row, "calls");
+        phase.totalCycles = u64Or(row, "total_cycles");
+        phase.selfCycles = u64Or(row, "self_cycles");
+        if (const JsonValue *pmu = row.find("pmu")) {
+            phase.pmuCalls = u64Or(*pmu, "calls");
+            phase.pmuInstructions = u64Or(*pmu, "instructions");
+            phase.pmuLlcMisses = u64Or(*pmu, "llc_misses");
+            phase.pmuBranchMisses = u64Or(*pmu, "branch_misses");
+            phase.ipc = pmu->numberOr("ipc", 0);
+            phase.llcMissesPerKiloInstruction = pmu->numberOr(
+                "llc_misses_per_kilo_instruction", 0);
+        }
+        doc.phases.push_back(std::move(phase));
+    }
+    return true;
+}
+
+bool
+loadProfileDoc(const std::string &path, ProfileDoc &doc,
+               std::string &error)
+{
+    JsonValue json;
+    if (!parseJsonFile(path, json, error))
+        return false;
+    return parseProfileDoc(json, doc, error);
+}
+
+std::string
+renderTopTable(const ProfileDoc &doc, std::size_t top_n)
+{
+    std::vector<const ProfilePhase *> ranked;
+    ranked.reserve(doc.phases.size());
+    for (const ProfilePhase &phase : doc.phases)
+        ranked.push_back(&phase);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const ProfilePhase *a, const ProfilePhase *b) {
+                  if (a->selfCycles != b->selfCycles)
+                      return a->selfCycles > b->selfCycles;
+                  return a->path < b->path;
+              });
+    if (ranked.size() > top_n)
+        ranked.resize(top_n);
+
+    const double total =
+        static_cast<double>(std::max<std::uint64_t>(
+            totalSelf(doc), 1));
+    TextTable table({"phase", "self", "share", "calls",
+                     "self/call", "ipc", "llc_mpki"});
+    for (const ProfilePhase *phase : ranked) {
+        const double per_call =
+            phase->calls > 0
+                ? static_cast<double>(phase->selfCycles) /
+                      static_cast<double>(phase->calls)
+                : 0;
+        table.addRow(
+            {phase->path, cycles(phase->selfCycles),
+             TextTable::percent(
+                 static_cast<double>(phase->selfCycles) / total),
+             std::to_string(phase->calls),
+             cycles(static_cast<std::uint64_t>(per_call)),
+             phase->pmuCalls > 0 ? TextTable::num(phase->ipc, 2)
+                                 : "-",
+             phase->pmuCalls > 0
+                 ? TextTable::num(
+                       phase->llcMissesPerKiloInstruction, 2)
+                 : "-"});
+    }
+    std::ostringstream out;
+    table.print(out, doc.tool + ": top self-cycle phases (pmu " +
+                         (doc.pmuAvailable ? "on" : "off") + ")");
+    return out.str();
+}
+
+std::string
+renderTree(const ProfileDoc &doc)
+{
+    TextTable table({"phase", "total", "self", "calls"});
+    for (const ProfilePhase &phase : doc.phases) {
+        std::string label(2 * phase.depth, ' ');
+        label += phase.name;
+        table.addRow({label, cycles(phase.totalCycles),
+                      cycles(phase.selfCycles),
+                      std::to_string(phase.calls)});
+    }
+    std::ostringstream out;
+    table.print(out, doc.tool + ": phase tree");
+    return out.str();
+}
+
+std::string
+renderCalls(const ProfileDoc &doc)
+{
+    std::ostringstream out;
+    for (const ProfilePhase &phase : doc.phases)
+        out << phase.path << " " << phase.calls << "\n";
+    return out.str();
+}
+
+std::vector<PhaseDelta>
+diffProfiles(const ProfileDoc &base, const ProfileDoc &cand,
+             double threshold_pct, std::uint64_t min_cycles)
+{
+    // Join by path; std::map keeps the union path-sorted.
+    std::map<std::string, PhaseDelta> joined;
+    for (const ProfilePhase &phase : base.phases) {
+        PhaseDelta &delta = joined[phase.path];
+        delta.path = phase.path;
+        delta.baseSelf = phase.selfCycles;
+        delta.inBase = true;
+    }
+    for (const ProfilePhase &phase : cand.phases) {
+        PhaseDelta &delta = joined[phase.path];
+        delta.path = phase.path;
+        delta.candSelf = phase.selfCycles;
+        delta.inCand = true;
+    }
+
+    std::vector<PhaseDelta> deltas;
+    deltas.reserve(joined.size());
+    for (auto &[path, delta] : joined) {
+        const std::int64_t change =
+            static_cast<std::int64_t>(delta.candSelf) -
+            static_cast<std::int64_t>(delta.baseSelf);
+        if (delta.baseSelf > 0) {
+            delta.deltaPct =
+                100.0 * static_cast<double>(change) /
+                static_cast<double>(delta.baseSelf);
+        } else {
+            delta.deltaPct =
+                change > 0
+                    ? std::numeric_limits<double>::infinity()
+                    : 0.0;
+        }
+        const std::uint64_t magnitude =
+            static_cast<std::uint64_t>(change < 0 ? -change
+                                                  : change);
+        delta.significant =
+            magnitude > min_cycles &&
+            std::abs(delta.deltaPct) > threshold_pct;
+        delta.regressed = delta.significant && change > 0;
+        deltas.push_back(delta);
+    }
+    return deltas;
+}
+
+std::string
+renderDiffTable(const ProfileDoc &base, const ProfileDoc &cand,
+                const std::vector<PhaseDelta> &deltas)
+{
+    std::vector<const PhaseDelta *> ranked;
+    ranked.reserve(deltas.size());
+    for (const PhaseDelta &delta : deltas)
+        ranked.push_back(&delta);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const PhaseDelta *a, const PhaseDelta *b) {
+                  const auto magnitude = [](const PhaseDelta *d) {
+                      const std::int64_t change =
+                          static_cast<std::int64_t>(d->candSelf) -
+                          static_cast<std::int64_t>(d->baseSelf);
+                      return static_cast<std::uint64_t>(
+                          change < 0 ? -change : change);
+                  };
+                  const std::uint64_t ma = magnitude(a);
+                  const std::uint64_t mb = magnitude(b);
+                  if (ma != mb)
+                      return ma > mb;
+                  return a->path < b->path;
+              });
+
+    TextTable table({"phase", "base_self", "cand_self", "delta",
+                     "delta_pct", "verdict"});
+    for (const PhaseDelta *delta : ranked) {
+        const std::int64_t change =
+            static_cast<std::int64_t>(delta->candSelf) -
+            static_cast<std::int64_t>(delta->baseSelf);
+        char pct_cell[32];
+        if (std::isinf(delta->deltaPct))
+            std::snprintf(pct_cell, sizeof(pct_cell), "new");
+        else
+            std::snprintf(pct_cell, sizeof(pct_cell), "%+.1f%%",
+                          delta->deltaPct);
+        table.addRow(
+            {delta->path,
+             delta->inBase ? cycles(delta->baseSelf) : "-",
+             delta->inCand ? cycles(delta->candSelf) : "-",
+             signedCycles(change), pct_cell,
+             delta->regressed      ? "SLOWER"
+             : delta->significant  ? "faster"
+                                   : "ok"});
+    }
+    std::ostringstream out;
+    table.print(out, "ramp_prof: " + base.tool + " -> " +
+                         cand.tool + " profile diff (" +
+                         std::to_string(deltas.size()) +
+                         " phases joined)");
+    return out.str();
+}
+
+} // namespace ramp::perf

@@ -1,0 +1,188 @@
+#include "prof/pmu.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ramp::prof
+{
+
+namespace
+{
+
+std::atomic<bool> forcedUnavailable{false};
+
+#if defined(__linux__)
+
+/** Group layout: leader + 3 siblings, fixed order. */
+constexpr int groupSize = 4;
+
+struct EventSpec
+{
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr EventSpec groupSpecs[groupSize] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu,
+              int group_fd, unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd,
+                   flags);
+}
+
+/** The calling thread's counter group; fds live until thread exit. */
+struct ThreadGroup
+{
+    int leader = -1;
+    int fds[groupSize] = {-1, -1, -1, -1};
+    bool failed = false;
+
+    ~ThreadGroup()
+    {
+        for (int fd : fds)
+            if (fd >= 0)
+                close(fd);
+    }
+
+    bool open()
+    {
+        for (int i = 0; i < groupSize; ++i) {
+            perf_event_attr attr;
+            std::memset(&attr, 0, sizeof(attr));
+            attr.type = groupSpecs[i].type;
+            attr.size = sizeof(attr);
+            attr.config = groupSpecs[i].config;
+            attr.disabled = i == 0 ? 1 : 0;
+            attr.exclude_kernel = 1;
+            attr.exclude_hv = 1;
+            attr.read_format = PERF_FORMAT_GROUP |
+                               PERF_FORMAT_TOTAL_TIME_ENABLED |
+                               PERF_FORMAT_TOTAL_TIME_RUNNING;
+            const long fd = perfEventOpen(
+                &attr, 0, -1, i == 0 ? -1 : leader, 0);
+            if (fd < 0)
+                return false;
+            fds[i] = static_cast<int>(fd);
+            if (i == 0)
+                leader = fds[0];
+        }
+        ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+        ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+        return true;
+    }
+};
+
+ThreadGroup &
+threadGroup()
+{
+    thread_local ThreadGroup group;
+    return group;
+}
+
+bool
+probePmu()
+{
+    // A probe group on the probing thread; success means the
+    // kernel grants unprivileged self-profiling here.
+    ThreadGroup probe;
+    return probe.open();
+}
+
+#endif // __linux__
+
+bool
+pmuEnvDisabled()
+{
+    static const bool disabled = [] {
+        const char *value = std::getenv("RAMP_PROF_PMU");
+        return value != nullptr &&
+               (std::strcmp(value, "off") == 0 ||
+                std::strcmp(value, "0") == 0);
+    }();
+    return disabled;
+}
+
+} // namespace
+
+bool
+pmuAvailable()
+{
+    if (forcedUnavailable.load(std::memory_order_acquire))
+        return false;
+    if (pmuEnvDisabled())
+        return false;
+#if defined(__linux__)
+    static const bool available = probePmu();
+    return available;
+#else
+    return false;
+#endif
+}
+
+PmuSample
+pmuRead()
+{
+    PmuSample sample;
+    if (!pmuAvailable())
+        return sample;
+#if defined(__linux__)
+    ThreadGroup &group = threadGroup();
+    if (group.failed)
+        return sample;
+    if (group.leader < 0 && !group.open()) {
+        group.failed = true;
+        return sample;
+    }
+
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+    // then one value per group member in creation order.
+    std::uint64_t buffer[3 + groupSize];
+    const ssize_t wanted = sizeof(buffer);
+    if (read(group.leader, buffer, sizeof(buffer)) != wanted)
+        return sample;
+    const std::uint64_t nr = buffer[0];
+    const std::uint64_t enabled = buffer[1];
+    const std::uint64_t running = buffer[2];
+    if (nr != groupSize || running == 0)
+        return sample;
+    // Multiplex scaling: counts are extrapolated to the full
+    // enabled window when the kernel time-shared the PMU.
+    const double scale = running == enabled
+                             ? 1.0
+                             : static_cast<double>(enabled) /
+                                   static_cast<double>(running);
+    auto scaled = [&](int i) {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(buffer[3 + i]) * scale);
+    };
+    sample.cycles = scaled(0);
+    sample.instructions = scaled(1);
+    sample.llcMisses = scaled(2);
+    sample.branchMisses = scaled(3);
+    sample.valid = true;
+#endif
+    return sample;
+}
+
+void
+pmuForceUnavailableForTest(bool forced)
+{
+    forcedUnavailable.store(forced, std::memory_order_release);
+}
+
+} // namespace ramp::prof

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hardware PMU counters for the profiler, via perf_event_open.
+ *
+ * Each thread that samples opens one counter group on itself —
+ * leader = cycles, siblings = instructions, LLC misses, branch
+ * misses — read in a single syscall with
+ * PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING, so
+ * multiplexed counts are scaled back to full-speed estimates.
+ *
+ * Availability is probed once: CI containers and locked-down hosts
+ * reject perf_event_open (EPERM/EACCES/ENOSYS), in which case every
+ * sample comes back invalid and the profiler degrades to TSC-only.
+ * RAMP_PROF_PMU=off forces that path (the CI fallback smoke uses
+ * it), and pmuForceUnavailableForTest() does the same from tests.
+ */
+
+#ifndef RAMP_PROF_PMU_HH
+#define RAMP_PROF_PMU_HH
+
+#include <cstdint>
+
+namespace ramp::prof
+{
+
+/** One multiplex-scaled reading of the per-thread counter group. */
+struct PmuSample
+{
+    bool valid = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t branchMisses = 0;
+};
+
+/**
+ * True when perf_event_open works here (probed on first call;
+ * honours RAMP_PROF_PMU=off and the test override).
+ */
+bool pmuAvailable();
+
+/**
+ * Read the calling thread's counter group, opening it on first use.
+ * sample.valid is false when the PMU is unavailable or the read
+ * failed; callers must only difference two valid samples.
+ */
+PmuSample pmuRead();
+
+/** Force pmuAvailable() == false (tests); false restores probing. */
+void pmuForceUnavailableForTest(bool forced);
+
+} // namespace ramp::prof
+
+#endif // RAMP_PROF_PMU_HH

@@ -1,0 +1,103 @@
+#include "prof/tsc.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace ramp::prof
+{
+
+namespace detail
+{
+
+namespace
+{
+
+std::atomic<CycleSource> testSource{nullptr};
+
+} // namespace
+
+void
+setCycleSourceForTest(CycleSource source)
+{
+    testSource.store(source, std::memory_order_release);
+}
+
+CycleSource
+cycleSourceForTest()
+{
+    return testSource.load(std::memory_order_acquire);
+}
+
+} // namespace detail
+
+namespace
+{
+
+/**
+ * Measure RDTSC against steady_clock over a short sleep. 20 ms is
+ * long enough that scheduler jitter stays well under 1% while first
+ * use (harness construction or first profile render) barely
+ * notices.
+ */
+double
+calibrateTscHz()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    using Clock = std::chrono::steady_clock;
+    const std::uint64_t tsc0 = readTsc();
+    const Clock::time_point t0 = Clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::uint64_t tsc1 = readTsc();
+    const Clock::time_point t1 = Clock::now();
+    const double seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (seconds <= 0 || tsc1 <= tsc0)
+        return 1e9; // non-monotonic TSC: treat cycles as ns
+    return static_cast<double>(tsc1 - tsc0) / seconds;
+#else
+    return 1e9; // "cycles" are steady_clock nanoseconds
+#endif
+}
+
+} // namespace
+
+double
+tscHz()
+{
+    static const double hz = calibrateTscHz();
+    return hz;
+}
+
+std::string
+cpuModelName()
+{
+    static const std::string model = [] {
+        std::FILE *file = std::fopen("/proc/cpuinfo", "r");
+        if (file == nullptr)
+            return std::string("unknown");
+        std::string name = "unknown";
+        char line[512];
+        while (std::fgets(line, sizeof(line), file) != nullptr) {
+            if (std::strncmp(line, "model name", 10) != 0)
+                continue;
+            const char *colon = std::strchr(line, ':');
+            if (colon == nullptr)
+                continue;
+            ++colon;
+            while (*colon == ' ' || *colon == '\t')
+                ++colon;
+            name = colon;
+            while (!name.empty() && (name.back() == '\n' ||
+                                     name.back() == '\r'))
+                name.pop_back();
+            break;
+        }
+        std::fclose(file);
+        return name;
+    }();
+    return model;
+}
+
+} // namespace ramp::prof

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "eventlog/eventlog.hh"
+#include "prof/prof.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp
@@ -379,8 +380,11 @@ RegionMonitor::endEpoch(Cycle now)
         ++region.age;
     }
 
-    mergePass(now);
-    splitPass(now);
+    {
+        RAMP_PROF_SCOPE(adapt_prof, "region.adapt");
+        mergePass(now);
+        splitPass(now);
+    }
 
     for (Region &region : regions_) {
         region.epochReads = 0;

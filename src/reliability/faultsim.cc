@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "eventlog/eventlog.hh"
+#include "prof/prof.hh"
 #include "runner/error.hh"
 #include "telemetry/telemetry.hh"
 
@@ -173,6 +174,7 @@ FaultSim::runShard(std::uint64_t trials, std::uint64_t seed,
                    std::uint64_t shard) const
 {
     RAMP_TELEM_SPAN(shard_span, "faultsim.shard", "reliability");
+    RAMP_PROF_SCOPE_PMU(shard_prof, "faultsim.shard");
     // Shard labels are schedule-independent, so ledger analyzers
     // see identical fault streams at any --jobs width.
     eventlog::RunScope events_scope(config_.name + "/shard" +

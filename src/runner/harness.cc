@@ -14,6 +14,7 @@
 #include "eventlog/eventlog.hh"
 #include "health/health.hh"
 #include "health/rules.hh"
+#include "prof/prof.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp::runner
@@ -152,6 +153,8 @@ Harness::Harness(std::string tool, RunnerOptions options)
         }
         health::setRules(std::move(rules));
     }
+    if (!options_.profilePath.empty())
+        prof::setEnabled(true);
     if (!options_.cacheDir.empty())
         cache_.setDiskDir(options_.cacheDir);
     if (!options_.checkpointDir.empty())
@@ -231,6 +234,7 @@ Harness::runPassesImpl(const std::vector<PassDesc> &descs,
         RAMP_TELEM_SPAN(
             pass_span, "pass", "runner",
             telemetry::traceArg("workload", desc.workload));
+        RAMP_PROF_SCOPE(pass_prof, "runner.pass");
         // Ledger run label: "<workload>/<pass label>". The label
         // half of the checkpoint key is unique per (workload,
         // pass) and schedule-independent, so analyzers can sort
@@ -374,6 +378,8 @@ Harness::benchJson()
     }
     spec.eventRecords = eventlog::stats().recorded;
     spec.microbenchmarks = microResults_;
+    if (prof::enabled())
+        spec.profileBlock = prof::profileBlockJson();
     return perf::renderBenchReport(spec);
 }
 
@@ -490,6 +496,24 @@ Harness::flushOutputs()
         std::fprintf(stderr, "%s: cannot write trace to %s\n",
                      tool_.c_str(), options_.tracePath.c_str());
         code = 1;
+    }
+    if (!options_.profilePath.empty()) {
+        if (!atomicWriteFile(
+                options_.profilePath,
+                prof::profileJson(tool_, pool_.jobs()))) {
+            std::fprintf(stderr,
+                         "%s: cannot write cycle profile to %s\n",
+                         tool_.c_str(),
+                         options_.profilePath.c_str());
+            code = 1;
+        }
+        const std::string folded = options_.profilePath + ".folded";
+        if (!atomicWriteFile(folded, prof::foldedStacks())) {
+            std::fprintf(stderr,
+                         "%s: cannot write folded stacks to %s\n",
+                         tool_.c_str(), folded.c_str());
+            code = 1;
+        }
     }
     if (!options_.benchPath.empty() &&
         !atomicWriteFile(options_.benchPath, benchJson())) {

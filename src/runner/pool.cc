@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "prof/prof.hh"
 #include "runner/error.hh"
 #include "telemetry/telemetry.hh"
 
@@ -36,6 +37,9 @@ void
 runInstrumented(const std::function<void(std::size_t)> &task,
                 std::size_t index)
 {
+    // TSC-only: dispatch overhead is measured per task, and a PMU
+    // read per task would swamp the thing being measured.
+    RAMP_PROF_SCOPE(task_prof, "pool.task");
 #ifndef RAMP_TELEMETRY_DISABLED
     if (telemetry::enabled()) {
         auto &tel = poolTelemetry();

@@ -110,6 +110,8 @@ RunnerOptions::parse(int argc, char **argv)
         options.eventsPath = env;
     if (const char *env = std::getenv("RAMP_TIMELINE_OUT"))
         options.timelinePath = env;
+    if (const char *env = std::getenv("RAMP_PROF_OUT"))
+        options.profilePath = env;
     if (const char *env = std::getenv("RAMP_HEALTH_RULES"))
         options.healthRules = env;
     if (const char *env = std::getenv("RAMP_SAMPLE_MS"))
@@ -155,6 +157,8 @@ RunnerOptions::parse(int argc, char **argv)
             options.eventsPath = value("--events-out");
         } else if (arg == "--timeline-out") {
             options.timelinePath = value("--timeline-out");
+        } else if (arg == "--profile-out") {
+            options.profilePath = value("--profile-out");
         } else if (arg == "--health-rules") {
             options.healthRules = value("--health-rules");
         } else if (arg == "--sample-ms") {
@@ -191,6 +195,9 @@ RunnerOptions::flagsHelp()
            "JSONL (env RAMP_EVENTS_OUT)\n"
            "  --timeline-out PATH  write the epoch health timeline "
            "as JSONL (env RAMP_TIMELINE_OUT)\n"
+           "  --profile-out PATH  write a ramp-profile-v1 cycle "
+           "profile (+PATH.folded flamegraph stacks; env "
+           "RAMP_PROF_OUT)\n"
            "  --health-rules R  SLO rules evaluated per epoch, e.g. "
            "alert:p99_slowdown>2,for=3 (env RAMP_HEALTH_RULES)\n"
            "  --sample-ms N   resource-sampler period, >= 10 "

@@ -106,6 +106,10 @@ struct RunnerOptions
     /** Health rule set ("" = defaults when the timeline is on). */
     std::string healthRules;
 
+    /** Cycle-profile target ("" = profiler off). The folded
+     * flamegraph stacks land next to it at PATH.folded. */
+    std::string profilePath;
+
     /** Resource-sampler period in milliseconds (>= 10). */
     unsigned sampleMs = 50;
 
@@ -124,13 +128,14 @@ struct RunnerOptions
     /**
      * Parse --jobs N, --json PATH, --metrics-out PATH, --trace-out
      * PATH, --bench-out PATH, --events-out PATH, --timeline-out
-     * PATH, --health-rules RULES, --sample-ms N, --cache-dir PATH,
-     * --checkpoint DIR, and --pass-timeout S from argv (with
-     * RAMP_JOBS / RAMP_JSON / RAMP_METRICS_OUT / RAMP_TRACE_OUT /
-     * RAMP_BENCH_OUT / RAMP_EVENTS_OUT / RAMP_TIMELINE_OUT /
-     * RAMP_HEALTH_RULES / RAMP_SAMPLE_MS / RAMP_CACHE_DIR /
-     * RAMP_CHECKPOINT / RAMP_PASS_TIMEOUT environment fallbacks);
-     * everything else lands in positional.
+     * PATH, --health-rules RULES, --profile-out PATH, --sample-ms
+     * N, --cache-dir PATH, --checkpoint DIR, and --pass-timeout S
+     * from argv (with RAMP_JOBS / RAMP_JSON / RAMP_METRICS_OUT /
+     * RAMP_TRACE_OUT / RAMP_BENCH_OUT / RAMP_EVENTS_OUT /
+     * RAMP_TIMELINE_OUT / RAMP_HEALTH_RULES / RAMP_PROF_OUT /
+     * RAMP_SAMPLE_MS / RAMP_CACHE_DIR / RAMP_CHECKPOINT /
+     * RAMP_PASS_TIMEOUT environment fallbacks); everything else
+     * lands in positional.
      * Throws PassError(Usage) on a malformed flag — the binary
      * decides the exit code.
      */

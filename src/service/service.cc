@@ -9,6 +9,7 @@
 
 #include "eventlog/eventlog.hh"
 #include "health/health.hh"
+#include "prof/prof.hh"
 #include "telemetry/telemetry.hh"
 
 namespace ramp::service
@@ -997,6 +998,7 @@ PlacementService::runShard(Shard &shard, unsigned shard_index)
     }
 
     for (unsigned epoch = 0; epoch < config_.epochs; ++epoch) {
+        RAMP_PROF_SCOPE_PMU(epoch_prof, "service.global_epoch");
         RAMP_TELEM(serviceTelemetry().epochs.add(1));
         applyShardFaults(shard, shard_index, epoch + 1);
 

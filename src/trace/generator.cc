@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "prof/prof.hh"
 
 namespace ramp
 {
@@ -102,6 +103,8 @@ generateTraces(const WorkloadSpec &spec, const WorkloadLayout &layout,
     if (spec.coreBenchmarks.size() != workloadCores)
         ramp_fatal("workload ", spec.name, " must define ",
                    workloadCores, " cores");
+
+    RAMP_PROF_SCOPE_PMU(gen_prof, "trace.generate");
 
     // Zipf CDF construction is the expensive part of setup; identical
     // (pages, alpha) samplers are shared across cores and structures.

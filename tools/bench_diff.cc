@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,18 @@ main(int argc, char **argv)
         std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
         return 2;
     }
+
+    // Schema growth: a document may carry top-level blocks this
+    // build predates (or postdates). Note and skip them so old
+    // baselines stay comparable against new candidates.
+    std::set<std::string> unknown_blocks;
+    for (const auto &name : perf::unknownBenchBlocks(baseline))
+        unknown_blocks.insert(name);
+    for (const auto &name : perf::unknownBenchBlocks(candidate))
+        unknown_blocks.insert(name);
+    for (const auto &name : unknown_blocks)
+        std::cout << "bench_diff: note: skipping unknown block '"
+                  << name << "'\n";
 
     const auto diffs = perf::compareBenchReports(
         baseline, candidate, options, error);

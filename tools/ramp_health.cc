@@ -144,18 +144,33 @@ idOr(const perf::JsonValue &object, const std::string &key,
 
 bool
 loadTimeline(const std::string &path, Timeline &timeline,
-             std::string &error)
+             std::string &error, bool ignore_partial_tail = false)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         error = "cannot read " + path;
         return false;
     }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
+    if (ignore_partial_tail && !content.empty() &&
+        content.back() != '\n') {
+        // A live tail: the writer is mid-line. Drop the partial
+        // trailing line — the next poll re-reads the file and
+        // parses it once its newline has arrived — rather than
+        // failing the whole parse (or reading a torn sample).
+        const std::size_t last_newline = content.rfind('\n');
+        content.resize(last_newline == std::string::npos
+                           ? 0
+                           : last_newline + 1);
+    }
     timeline = Timeline{};
+    std::istringstream lines(content);
     std::string line;
     std::size_t line_no = 0;
     bool saw_header = false;
-    while (std::getline(in, line)) {
+    while (std::getline(lines, line)) {
         ++line_no;
         if (line.empty())
             continue;
@@ -468,7 +483,8 @@ follow(const std::string &path, bool have_tenant,
             reported_missing = false;
             Timeline timeline;
             std::string error;
-            if (loadTimeline(path, timeline, error)) {
+            if (loadTimeline(path, timeline, error,
+                             /*ignore_partial_tail=*/true)) {
                 applyFilters(timeline, have_tenant, tenant,
                              have_shard, shard);
                 for (const Alert &alert : timeline.alerts) {
